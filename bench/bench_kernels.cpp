@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the hot kernels of the engine:
+// object marshalling, stream framing, torus routing, FFT, and the
+// discrete-event kernel itself. These measure the *reproduction's* own
+// code speed (wall clock), unlike the figure benches, which measure
+// simulated bandwidth.
+#include <benchmark/benchmark.h>
+
+#include "funcs/fft.hpp"
+#include "net/topology.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "transport/frame.hpp"
+#include "transport/marshal.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using scsq::catalog::Object;
+
+void BM_MarshalDArray(benchmark::State& state) {
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+  Object obj{data};
+  for (auto _ : state) {
+    std::vector<std::uint8_t> buf;
+    scsq::transport::marshal(obj, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(obj.marshaled_size()));
+}
+BENCHMARK(BM_MarshalDArray)->Arg(1024)->Arg(65536);
+
+void BM_UnmarshalDArray(benchmark::State& state) {
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)), 1.5);
+  std::vector<std::uint8_t> buf;
+  scsq::transport::marshal(Object{data}, buf);
+  for (auto _ : state) {
+    std::size_t off = 0;
+    auto obj = scsq::transport::unmarshal(buf, off);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_UnmarshalDArray)->Arg(1024)->Arg(65536);
+
+void BM_FrameCutter(benchmark::State& state) {
+  const auto buffer = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    scsq::transport::FrameCutter cutter(buffer);
+    std::size_t frames = 0;
+    for (int i = 0; i < 64; ++i) {
+      frames += cutter.push(Object{scsq::catalog::SynthArray{30'000, 0}}).size();
+    }
+    frames += 1;
+    (void)cutter.finish();
+    benchmark::DoNotOptimize(frames);
+  }
+}
+BENCHMARK(BM_FrameCutter)->Arg(1000)->Arg(65536);
+
+void BM_TorusRoute(benchmark::State& state) {
+  scsq::net::Torus3D torus(8, 8, 8);
+  scsq::util::Rng rng(1);
+  for (auto _ : state) {
+    int a = static_cast<int>(rng.uniform_int(0, torus.node_count() - 1));
+    int b = static_cast<int>(rng.uniform_int(0, torus.node_count() - 1));
+    auto path = torus.route(a, b);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_TorusRoute);
+
+void BM_Fft(benchmark::State& state) {
+  std::vector<double> x(static_cast<std::size_t>(state.range(0)));
+  scsq::util::Rng rng(2);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    auto out = scsq::funcs::fft(x);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    scsq::sim::Simulator sim;
+    sim.spawn([](scsq::sim::Simulator& s) -> scsq::sim::Task<void> {
+      for (int i = 0; i < 10'000; ++i) co_await s.delay(1e-6);
+    }(sim));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    scsq::sim::Simulator sim;
+    scsq::sim::Channel<int> ch(sim, 1);
+    sim.spawn([](scsq::sim::Channel<int>& c) -> scsq::sim::Task<void> {
+      for (int i = 0; i < 5'000; ++i) co_await c.send(i);
+      c.close();
+    }(ch));
+    sim.spawn([](scsq::sim::Channel<int>& c) -> scsq::sim::Task<void> {
+      while (co_await c.recv()) {
+      }
+    }(ch));
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5'000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace scsq::bench {
+
+bool quick_mode() { return std::getenv("SCSQ_BENCH_QUICK") != nullptr; }
+
+int arrays_for_buffer(std::uint64_t buffer_bytes) {
+  const int full = quick_mode() ? 10 : kFullArrays;
+  // Cap the per-producer message count around 200k.
+  const std::uint64_t max_bytes = buffer_bytes * 200'000;
+  const int max_arrays = static_cast<int>(std::max<std::uint64_t>(2, max_bytes / kArrayBytes));
+  return std::min(full, max_arrays);
+}
+
+hw::CostModel jittered(hw::CostModel cost, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto j = [&rng] { return rng.jitter(0.01); };
+  cost.torus.send_per_packet_s *= j();
+  cost.torus.recv_per_packet_s *= j();
+  cost.torus.forward_per_packet_s *= j();
+  cost.torus.per_message_overhead_s *= j();
+  cost.tree.io_forward_per_byte_s *= j();
+  cost.tree.compute_recv_per_byte_s *= j();
+  cost.ethernet.per_message_overhead_s *= j();
+  cost.bg_compute.marshal_per_byte_s *= j();
+  cost.linux_node.marshal_per_byte_s *= j();
+  return cost;
+}
+
+double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
+                      const hw::CostModel& cost, std::uint64_t buffer_bytes,
+                      int send_buffers) {
+  ScsqConfig cfg;
+  cfg.cost = cost;
+  cfg.exec.buffer_bytes = buffer_bytes;
+  cfg.exec.send_buffers = send_buffers;
+  Scsq scsq(cfg);
+  auto report = scsq.run(query);
+  SCSQ_CHECK(report.elapsed_s > 0.0) << "empty run";
+  return static_cast<double>(payload_bytes) * 8.0 / report.elapsed_s / 1e6;
+}
+
+util::Stats repeat_query_mbps(const std::string& query, std::uint64_t payload_bytes,
+                              const hw::CostModel& base_cost, std::uint64_t buffer_bytes,
+                              int send_buffers, std::uint64_t seed_base) {
+  util::Stats stats;
+  const int reps = quick_mode() ? 2 : kRepetitions;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto cost = jittered(base_cost, seed_base + static_cast<std::uint64_t>(rep) * 7919);
+    stats.add(run_query_mbps(query, payload_bytes, cost, buffer_bytes, send_buffers));
+  }
+  return stats;
+}
+
+std::string p2p_query(std::uint64_t array_bytes, int arrays) {
+  std::ostringstream q;
+  q << "select extract(b) from sp a, sp b"
+    << " where b=sp(streamof(count(extract(a))),'bg',0)"
+    << " and a=sp(gen_array(" << array_bytes << "," << arrays << "),'bg',1);";
+  return q.str();
+}
+
+std::string merge_query(int x, int y, std::uint64_t array_bytes, int arrays) {
+  std::ostringstream q;
+  q << "select extract(c) from sp a, sp b, sp c"
+    << " where c=sp(count(merge({a,b})), 'bg',0)"
+    << " and a=sp(gen_array(" << array_bytes << "," << arrays << "),'bg'," << x << ")"
+    << " and b=sp(gen_array(" << array_bytes << "," << arrays << "),'bg'," << y << ");";
+  return q.str();
+}
+
+std::string inbound_query(int query_no, int n, std::uint64_t array_bytes, int arrays) {
+  std::ostringstream q;
+  const char* a_alloc = (query_no % 2 == 1) ? "1" : "urr('be')";
+  if (query_no <= 2) {
+    q << "select extract(c) from bag of sp a, sp b, sp c, integer n"
+      << " where c=sp(extract(b), 'bg')"
+      << " and b=sp(count(merge(a)), 'bg')"
+      << " and a=spv((select gen_array(" << array_bytes << "," << arrays << ")"
+      << " from integer i where i in iota(1,n)), 'be', " << a_alloc << ")"
+      << " and n=" << n << ";";
+  } else {
+    const char* b_alloc = (query_no <= 4) ? "inPset(1)" : "psetrr()";
+    q << "select extract(c) from bag of sp a, bag of sp b, sp c, integer n"
+      << " where c=sp(streamof(sum(merge(b))), 'bg')"
+      << " and b=spv((select streamof(count(extract(p))) from sp p where p in a),"
+      << " 'bg', " << b_alloc << ")"
+      << " and a=spv((select gen_array(" << array_bytes << "," << arrays << ")"
+      << " from integer i where i in iota(1,n)), 'be', " << a_alloc << ")"
+      << " and n=" << n << ";";
+  }
+  return q.str();
+}
+
+void print_banner(const char* figure, const char* what) {
+  std::printf("=====================================================================\n");
+  std::printf("SCSQ reproduction — %s: %s\n", figure, what);
+  std::printf("Methodology: bandwidth = payload bytes / simulated query time;\n");
+  std::printf("%d repetitions with ~1%% cost jitter (paper: five runs).%s\n",
+              quick_mode() ? 2 : kRepetitions,
+              quick_mode() ? " [QUICK MODE]" : "");
+  std::printf("=====================================================================\n");
+}
+
+}  // namespace scsq::bench

@@ -1,0 +1,68 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Methodology follows the paper (§3): the bandwidth of a topology is the
+// total stream payload divided by the total time to run a finite query,
+// and "each experiment was performed five times in order to achieve low
+// variance". Simulation runs are deterministic, so the five repetitions
+// perturb the cost-model constants by ~1% (seeded) — standing in for the
+// run-to-run hardware variation a real measurement would see.
+//
+// The paper streams 100 x 3 MB arrays per producer. For sub-1KB buffers
+// that is hundreds of thousands of simulated messages per run, so the
+// workload is scaled down (bandwidth is a steady-state measure and does
+// not depend on stream length once past the ramp-up); the scaling is
+// printed with each table.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "core/scsq.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace scsq::bench {
+
+inline constexpr std::uint64_t kArrayBytes = 3'000'000;  // the paper's 3 MB arrays
+inline constexpr int kFullArrays = 100;                  // per producer
+inline constexpr int kRepetitions = 5;                   // paper: five runs
+
+/// True when SCSQ_BENCH_QUICK is set: shrink workloads for smoke runs.
+bool quick_mode();
+
+/// Number of arrays per producer such that one producer's stream is at
+/// most ~200k messages at this buffer size (full size when possible).
+int arrays_for_buffer(std::uint64_t buffer_bytes);
+
+/// Perturbs timing constants by ~1% (seeded) to emulate run-to-run
+/// hardware variation across repetitions.
+hw::CostModel jittered(hw::CostModel cost, std::uint64_t seed);
+
+/// Runs one query on a fresh simulated machine; returns Mbit/s of
+/// `payload_bytes` over the query's elapsed time.
+double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
+                      const hw::CostModel& cost, std::uint64_t buffer_bytes,
+                      int send_buffers);
+
+/// Repeats run_query_mbps kRepetitions times with jittered cost models.
+util::Stats repeat_query_mbps(const std::string& query, std::uint64_t payload_bytes,
+                              const hw::CostModel& base_cost, std::uint64_t buffer_bytes,
+                              int send_buffers, std::uint64_t seed_base);
+
+// --- Query builders (the paper's SCSQL, parameterized) ---
+
+/// §3.1 point-to-point: a at bg node 1 -> b at bg node 0.
+std::string p2p_query(std::uint64_t array_bytes, int arrays);
+
+/// §3.1 stream merging: producers at nodes x and y, consumer at node 0.
+/// Sequential placement: (1,2); balanced: (1,4) — Fig. 7.
+std::string merge_query(int x, int y, std::uint64_t array_bytes, int arrays);
+
+/// §3.2 inbound Queries 1-6 with n parallel streams.
+std::string inbound_query(int query_no, int n, std::uint64_t array_bytes, int arrays);
+
+/// Prints a table header with the standard bench banner.
+void print_banner(const char* figure, const char* what);
+
+}  // namespace scsq::bench

@@ -1,0 +1,51 @@
+// A genuinely *continuous* query: an unbounded sensor stream, window
+// aggregation on a BlueGene stream process, and a stop condition at the
+// client ("the execution of CQs may be stopped either by explicit user
+// intervention or by a stop condition in the query", paper §2.2).
+//
+//   $ ./examples/continuous_monitor
+//
+// An unbounded stream of 3 MB arrays flows into a BlueGene node that
+// counts arrivals per tumbling window of 25 arrays and streams one
+// throughput report per window to the client manager, which stops the
+// CQ after five reports.
+#include <cstdio>
+
+#include "core/scsq.hpp"
+#include "util/bytes.hpp"
+
+int main() {
+  scsq::ScsqConfig config;
+  config.exec.max_results = 5;  // the stop condition
+  config.exec.buffer_bytes = 64 * 1024;
+  scsq::Scsq scsq(config);
+
+  const char* query =
+      "select extract(b)\n"
+      "from sp a, sp b\n"
+      "where b=sp(bagcount(cwindow(extract(a), 25)), 'bg')\n"
+      "and   a=sp(gen_stream(3000000), 'bg');";
+
+  std::printf("Continuous query (unbounded stream, stop after 5 window reports):\n%s\n\n",
+              query);
+  auto report = scsq.run(query);
+
+  std::printf("window reports:");
+  for (const auto& r : report.results) std::printf(" %s", r.to_string().c_str());
+  std::printf("\nstopped by stop condition: %s\n", report.stopped ? "yes" : "no");
+  std::printf("simulated time: %.3f s\n", report.elapsed_s);
+
+  // The producer kept running until the stop propagated; its monitoring
+  // record shows how much it actually produced.
+  for (const auto& s : report.rps) {
+    if (s.query.find("gen_stream") != std::string::npos) {
+      std::printf("producer rp#%llu at %s emitted %llu arrays (%s) before the stop\n",
+                  static_cast<unsigned long long>(s.id), s.loc.to_string().c_str(),
+                  static_cast<unsigned long long>(s.elements_out),
+                  scsq::util::format_bytes(s.bytes_sent).c_str());
+    }
+  }
+  const bool ok = report.stopped && report.results.size() == 5;
+  std::printf("\n%s\n", ok ? "stop condition honored" : "UNEXPECTED result count");
+  return ok ? 0 : 1;
+}

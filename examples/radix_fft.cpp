@@ -1,0 +1,82 @@
+// The paper's radix2 FFT parallelization (§2.4): a user-defined query
+// function whose body splits an antenna signal stream into odd/even
+// halves, FFTs each half on its own stream process, and recombines.
+//
+//   $ ./examples/radix_fft
+//
+// The example registers a synthetic antenna source (a two-tone signal
+// plus noise), runs the radix2 query function, verifies the distributed
+// result against a direct single-node FFT, and reports the dominant
+// spectral bins.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "core/scsq.hpp"
+#include "funcs/fft.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  constexpr std::size_t kSamples = 1024;
+  constexpr int kArrays = 4;
+  constexpr double kTone1 = 50.0;  // bins
+  constexpr double kTone2 = 200.0;
+
+  // Synthetic antenna feed: two tones + noise.
+  scsq::util::Rng rng(2007);
+  std::vector<std::vector<double>> arrays;
+  for (int a = 0; a < kArrays; ++a) {
+    std::vector<double> x(kSamples);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      const double t = static_cast<double>(i);
+      x[i] = std::sin(2 * std::numbers::pi * kTone1 * t / kSamples) +
+             0.5 * std::sin(2 * std::numbers::pi * kTone2 * t / kSamples) +
+             0.1 * rng.normal(0.0, 1.0);
+    }
+    arrays.push_back(std::move(x));
+  }
+
+  scsq::Scsq scsq;
+  scsq.register_stream_source("antenna1", arrays);
+
+  const char* script = R"(
+    create function radix2(string s)
+                  ->stream
+    as select radixcombine(merge({a,b}))
+    from sp a, sp b, sp c
+    where a=sp(fft(odd (extract(c))))
+    and b=sp(fft(even(extract(c))))
+    and c=sp(receiver(s));
+
+    select radix2('antenna1');
+  )";
+
+  std::printf("Running the paper's radix2 query function over %d arrays of %zu samples...\n",
+              kArrays, kSamples);
+  auto report = scsq.run(script);
+
+  std::printf("result arrays: %zu, stream processes: %zu, time %.4f s (simulated)\n\n",
+              report.results.size(), report.rp_count, report.elapsed_s);
+
+  bool all_match = true;
+  for (std::size_t k = 0; k < report.results.size(); ++k) {
+    const auto& got = report.results[k].as_carray();
+    const auto expect = scsq::funcs::fft(arrays[k]);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      max_err = std::max(max_err, std::abs(got[i] - expect[i]));
+    }
+    // Dominant positive-frequency bin.
+    std::size_t peak = 1;
+    for (std::size_t i = 1; i < got.size() / 2; ++i) {
+      if (std::abs(got[i]) > std::abs(got[peak])) peak = i;
+    }
+    std::printf("array %zu: peak bin %zu (expect %.0f), |err|max vs direct FFT = %.2e\n", k,
+                peak, kTone1, max_err);
+    all_match &= max_err < 1e-9;
+  }
+  std::printf("\ndistributed radix2 %s the single-node FFT\n",
+              all_match ? "matches" : "DOES NOT match");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+#include "catalog/object.hpp"
+
+#include <sstream>
+
+namespace scsq::catalog {
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kInt: return "int";
+    case Kind::kReal: return "real";
+    case Kind::kBool: return "bool";
+    case Kind::kStr: return "string";
+    case Kind::kBag: return "bag";
+    case Kind::kDArray: return "darray";
+    case Kind::kCArray: return "carray";
+    case Kind::kSynth: return "syntharray";
+    case Kind::kSp: return "sp";
+  }
+  return "?";
+}
+
+double Object::as_number() const {
+  if (kind() == Kind::kInt) return static_cast<double>(as_int());
+  if (kind() == Kind::kReal) return as_real();
+  SCSQ_CHECK(false) << "object is not numeric: " << kind_name(kind());
+  return 0.0;
+}
+
+std::string Object::to_string() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kInt:
+      os << as_int();
+      break;
+    case Kind::kReal:
+      os << as_real();
+      break;
+    case Kind::kBool:
+      os << (as_bool() ? "true" : "false");
+      break;
+    case Kind::kStr:
+      os << '"' << as_str() << '"';
+      break;
+    case Kind::kBag: {
+      os << '{';
+      const auto& bag = as_bag();
+      for (std::size_t i = 0; i < bag.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << bag[i].to_string();
+      }
+      os << '}';
+      break;
+    }
+    case Kind::kDArray: {
+      const auto& a = as_darray();
+      os << "darray[" << a.size() << "](";
+      for (std::size_t i = 0; i < a.size() && i < 4; ++i) {
+        if (i > 0) os << ", ";
+        os << a[i];
+      }
+      if (a.size() > 4) os << ", ...";
+      os << ')';
+      break;
+    }
+    case Kind::kCArray: {
+      const auto& a = as_carray();
+      os << "carray[" << a.size() << "](";
+      for (std::size_t i = 0; i < a.size() && i < 3; ++i) {
+        if (i > 0) os << ", ";
+        os << a[i].real() << (a[i].imag() < 0 ? "" : "+") << a[i].imag() << 'i';
+      }
+      if (a.size() > 3) os << ", ...";
+      os << ')';
+      break;
+    }
+    case Kind::kSynth:
+      os << "syntharray(" << as_synth().bytes << " bytes, #" << as_synth().seq << ')';
+      break;
+    case Kind::kSp:
+      os << "sp#" << as_sp().id << '@' << as_sp().cluster;
+      break;
+  }
+  return os.str();
+}
+
+std::uint64_t Object::marshaled_size() const {
+  // Must stay in sync with transport/marshal.cpp. 1-byte kind tag, then
+  // the payload encoding (8-byte lengths and fixed-width scalars).
+  constexpr std::uint64_t kTag = 1;
+  switch (kind()) {
+    case Kind::kNull: return kTag;
+    case Kind::kInt: return kTag + 8;
+    case Kind::kReal: return kTag + 8;
+    case Kind::kBool: return kTag + 1;
+    case Kind::kStr: return kTag + 8 + as_str().size();
+    case Kind::kBag: {
+      std::uint64_t total = kTag + 8;
+      for (const auto& o : as_bag()) total += o.marshaled_size();
+      return total;
+    }
+    case Kind::kDArray: return kTag + 8 + 8 * static_cast<std::uint64_t>(as_darray().size());
+    case Kind::kCArray: return kTag + 8 + 16 * static_cast<std::uint64_t>(as_carray().size());
+    case Kind::kSynth:
+      // Simulated payload bytes plus the descriptor header.
+      return kTag + 16 + as_synth().bytes;
+    case Kind::kSp: return kTag + 8 + 8 + as_sp().cluster.size();
+  }
+  SCSQ_CHECK(false) << "unreachable";
+  return 0;
+}
+
+}  // namespace scsq::catalog

@@ -1,0 +1,127 @@
+// The SCSQL object model.
+//
+// "All data in SCSQ is represented by objects" (paper §2.4). An Object
+// is a value: null, integer, real, boolean, string, a bag of objects, a
+// numeric array (the streams of 1D signal arrays in the paper's
+// experiments), a complex array (FFT results), a synthetic array
+// descriptor, or a stream-process handle (stream processes are
+// first-class objects — the paper's central language contribution).
+//
+// SynthArray deserves a note: the paper streams 100 arrays of 3 MB each
+// per experiment. Allocating those for a bandwidth simulation would be
+// waste — only their marshaled size matters — so gen_array() produces
+// SynthArray descriptors whose `bytes` drive the simulated marshal and
+// transfer costs byte-exactly. Real arrays (DArray) flow through the
+// same drivers for the FFT and grep examples, and the binary marshal
+// round-trip is tested for every kind.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace scsq::catalog {
+
+class Object;
+
+/// Bags are ordered multisets (SCSQL `bag of`); vector keeps insertion
+/// order, which merge() and spv() rely on for determinism.
+using Bag = std::vector<Object>;
+
+/// Simulated payload: stands in for a numeric array of `bytes` bytes.
+struct SynthArray {
+  std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;  // generator sequence number (debugging/tests)
+  bool operator==(const SynthArray&) const = default;
+};
+
+/// Handle to a stream process (SP). SPs are first-class: queries bind
+/// them to variables, pass them to extract()/merge(), and put them in
+/// bags. The id is issued by the client manager; cluster records where
+/// its running process lives.
+struct SpHandle {
+  std::uint64_t id = 0;
+  std::string cluster;
+  bool operator==(const SpHandle&) const = default;
+};
+
+enum class Kind : std::uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kReal = 2,
+  kBool = 3,
+  kStr = 4,
+  kBag = 5,
+  kDArray = 6,   // vector<double>
+  kCArray = 7,   // vector<complex<double>>
+  kSynth = 8,
+  kSp = 9,
+};
+
+/// Human-readable kind name ("int", "bag", ...).
+const char* kind_name(Kind kind);
+
+class Object {
+ public:
+  Object() : value_(std::monostate{}) {}
+  Object(std::int64_t v) : value_(v) {}                       // NOLINT(google-explicit-constructor)
+  Object(int v) : value_(static_cast<std::int64_t>(v)) {}     // NOLINT
+  Object(double v) : value_(v) {}                             // NOLINT
+  Object(bool v) : value_(v) {}                               // NOLINT
+  Object(std::string v) : value_(std::move(v)) {}             // NOLINT
+  Object(const char* v) : value_(std::string(v)) {}           // NOLINT
+  Object(Bag v) : value_(std::move(v)) {}                     // NOLINT
+  Object(std::vector<double> v) : value_(std::move(v)) {}     // NOLINT
+  Object(std::vector<std::complex<double>> v) : value_(std::move(v)) {}  // NOLINT
+  Object(SynthArray v) : value_(v) {}                         // NOLINT
+  Object(SpHandle v) : value_(std::move(v)) {}                // NOLINT
+
+  Kind kind() const { return static_cast<Kind>(value_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  /// Typed accessors; SCSQ_CHECK on kind mismatch (callers validate
+  /// kinds at plan build time, so a mismatch here is a programmer error).
+  std::int64_t as_int() const { return get<std::int64_t>(); }
+  double as_real() const { return get<double>(); }
+  /// Numeric coercion: int or real as double.
+  double as_number() const;
+  bool as_bool() const { return get<bool>(); }
+  const std::string& as_str() const { return get<std::string>(); }
+  const Bag& as_bag() const { return get<Bag>(); }
+  Bag& as_bag() { return std::get<Bag>(value_); }
+  const std::vector<double>& as_darray() const { return get<std::vector<double>>(); }
+  const std::vector<std::complex<double>>& as_carray() const {
+    return get<std::vector<std::complex<double>>>();
+  }
+  const SynthArray& as_synth() const { return get<SynthArray>(); }
+  const SpHandle& as_sp() const { return get<SpHandle>(); }
+
+  bool operator==(const Object& other) const { return value_ == other.value_; }
+
+  /// Renders the object for query results and debugging (bags as
+  /// {a, b, ...}, arrays elided beyond a few elements).
+  std::string to_string() const;
+
+  /// Size of this object when marshaled by the stream drivers
+  /// (1-byte kind tag + payload; see transport/marshal for the format).
+  std::uint64_t marshaled_size() const;
+
+ private:
+  template <class T>
+  const T& get() const {
+    const T* p = std::get_if<T>(&value_);
+    SCSQ_CHECK(p != nullptr) << "object kind mismatch: have " << kind_name(kind());
+    return *p;
+  }
+
+  std::variant<std::monostate, std::int64_t, double, bool, std::string, Bag,
+               std::vector<double>, std::vector<std::complex<double>>, SynthArray, SpHandle>
+      value_;
+};
+
+}  // namespace scsq::catalog

@@ -1,0 +1,63 @@
+#include "exec/coordinator.hpp"
+
+#include <cmath>
+
+#include "scsql/error.hpp"
+
+namespace scsq::exec {
+
+ClusterCoordinator::ClusterCoordinator(sim::Simulator& sim, std::string cluster,
+                                       hw::Cndb& cndb, double rpc_latency,
+                                       double poll_interval, bool exclusive_nodes,
+                                       NodeSelection selection)
+    : sim_(&sim),
+      cluster_(std::move(cluster)),
+      cndb_(&cndb),
+      rpc_latency_(rpc_latency),
+      poll_interval_(poll_interval),
+      exclusive_nodes_(exclusive_nodes),
+      selection_(selection) {}
+
+int ClusterCoordinator::select_node(AllocationSeq* seq) {
+  if (seq == nullptr || seq->nodes.empty()) {
+    // No user constraint: naive next-available, or the topology-aware
+    // spread the paper proposes as the extension of this algorithm.
+    auto node = selection_ == NodeSelection::kSpread ? cndb_->next_available_spread()
+                                                     : cndb_->next_available();
+    if (!node) throw scsql::Error("no available compute node in cluster '" + cluster_ + "'");
+    return *node;
+  }
+  // Cyclic walk of the allocation sequence, skipping busy nodes.
+  for (std::size_t tries = 0; tries < seq->nodes.size(); ++tries) {
+    int node = seq->nodes[seq->cursor % seq->nodes.size()];
+    ++seq->cursor;
+    if (node < 0 || node >= cndb_->node_count()) {
+      throw scsql::Error("allocation sequence names unknown node " + std::to_string(node) +
+                         " in cluster '" + cluster_ + "'");
+    }
+    if (!exclusive_nodes_ || !cndb_->busy(node)) return node;
+  }
+  throw scsql::Error("allocation sequence for cluster '" + cluster_ +
+                     "' contains no available node");
+}
+
+sim::Task<int> ClusterCoordinator::allocate_node(AllocationSeq* seq) {
+  // Registration RPC with the cluster coordinator (via the feCC for the
+  // BlueGene).
+  co_await sim_->delay(rpc_latency_);
+  if (poll_interval_ > 0.0) {
+    // bgCC picks the registration up at its next poll tick.
+    const double now = sim_->now();
+    const double next_tick = std::ceil(now / poll_interval_) * poll_interval_;
+    co_await sim_->delay(next_tick - now);
+  }
+  int node = select_node(seq);
+  if (exclusive_nodes_) cndb_->set_busy(node, true);
+  co_return node;
+}
+
+void ClusterCoordinator::release_node(int node) {
+  if (exclusive_nodes_) cndb_->set_busy(node, false);
+}
+
+}  // namespace scsq::exec

@@ -1,0 +1,74 @@
+// Cluster coordinators (feCC, beCC, bgCC of the paper's Fig. 2).
+//
+// Each coordinator owns node selection for its cluster, querying the
+// CNDB. The BlueGene coordinator cannot be contacted directly — CNK has
+// no server sockets — so "sub-queries ... to be executed on the BlueGene
+// are registered with the feCC [and] the bgCC retrieves new sub-queries
+// from the feCC by polling" (paper §2.2). We model that with a polling
+// interval: a BlueGene allocation completes at the next poll tick after
+// the registration RPC.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/cndb.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace scsq::exec {
+
+/// A cyclic allocation sequence ("the node selection algorithm will
+/// choose the first available node in the allocation sequence"). One
+/// instance is shared by all SPs of a single sp()/spv() call, so
+/// successive allocations advance through the sequence — urr('be')
+/// spreads SPs round-robin while a literal single-node sequence pins
+/// every SP to that node (the paper's Query 1 vs. Query 2).
+struct AllocationSeq {
+  std::vector<int> nodes;
+  std::size_t cursor = 0;
+};
+
+/// Which algorithm fills in node choices when the user gives no
+/// allocation sequence.
+enum class NodeSelection {
+  kNaive,   // the paper's current algorithm: next available node
+  kSpread,  // the paper's proposed extension: spread across psets
+};
+
+class ClusterCoordinator {
+ public:
+  /// `rpc_latency` is the coordinator registration round-trip;
+  /// `poll_interval` > 0 adds the bgCC polling delay (0 = direct).
+  /// `exclusive_nodes`: a node runs at most one RP (BlueGene compute
+  /// nodes "can execute only one process", §2.2).
+  ClusterCoordinator(sim::Simulator& sim, std::string cluster, hw::Cndb& cndb,
+                     double rpc_latency, double poll_interval, bool exclusive_nodes,
+                     NodeSelection selection = NodeSelection::kNaive);
+
+  /// Allocates a node for a new RP, honoring `seq` when given (cyclic,
+  /// skipping busy nodes); otherwise the naive next-available algorithm.
+  /// Simulates registration latency. Throws scsql::Error when no node
+  /// is available.
+  sim::Task<int> allocate_node(AllocationSeq* seq);
+
+  /// Releases a node at query teardown.
+  void release_node(int node);
+
+  const std::string& cluster() const { return cluster_; }
+  hw::Cndb& cndb() { return *cndb_; }
+
+ private:
+  int select_node(AllocationSeq* seq);
+
+  sim::Simulator* sim_;
+  std::string cluster_;
+  hw::Cndb* cndb_;
+  double rpc_latency_;
+  double poll_interval_;
+  bool exclusive_nodes_;
+  NodeSelection selection_;
+};
+
+}  // namespace scsq::exec

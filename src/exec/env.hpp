@@ -1,0 +1,17 @@
+// Variable environments for query binding and shipped subqueries.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "catalog/object.hpp"
+
+namespace scsq::exec {
+
+/// Variable bindings (query variables -> values). Shipped subqueries
+/// carry the subset of the client manager's environment they reference
+/// ("By shipping stream handles we avoid unnecessary data shipping",
+/// paper §3.2).
+using Env = std::map<std::string, catalog::Object>;
+
+}  // namespace scsq::exec

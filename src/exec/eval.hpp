@@ -1,0 +1,28 @@
+// Constant (non-streaming, non-spawning) expression evaluation.
+//
+// Used in three places: evaluating where-clause scalars at the client
+// manager (n = 4, iota(1, n)), evaluating allocation-sequence
+// expressions (urr('be'), inPset(1), psetrr(), literal node ids), and
+// const-folding inside SQEP plan building (gen_array sizes, extract()
+// targets from the captured environment).
+//
+// sp()/spv()/user-defined functions are NOT handled here — they spawn
+// processes and are evaluated by the Engine's asynchronous binding pass.
+#pragma once
+
+#include "exec/env.hpp"
+#include "hw/machine.hpp"
+#include "scsql/ast.hpp"
+
+namespace scsq::exec {
+
+/// Evaluates `expr` against `env`. `machine` may be null; it is required
+/// only for the CNDB allocation functions (urr, inPset, psetrr).
+/// Throws scsql::Error for unknown variables/functions or type errors.
+catalog::Object eval_const(const scsql::ExprPtr& expr, const Env& env,
+                           hw::Machine* machine);
+
+/// True if `name` is one of the allocation-sequence builtins.
+bool is_allocation_function(const std::string& name);
+
+}  // namespace scsq::exec

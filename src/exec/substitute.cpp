@@ -1,0 +1,80 @@
+#include "exec/substitute.hpp"
+
+namespace scsq::exec {
+
+using scsql::Expr;
+using scsql::ExprKind;
+using scsql::ExprPtr;
+using scsql::Select;
+using scsql::SelectPtr;
+
+SelectPtr substitute_vars(const SelectPtr& select,
+                          const std::map<std::string, std::string>& renames) {
+  auto out = std::make_shared<Select>();
+  out->pos = select->pos;
+  bool changed = false;
+  for (const auto& d : select->decls) {
+    auto nd = d;
+    auto it = renames.find(d.name);
+    if (it != renames.end()) {
+      nd.name = it->second;
+      changed = true;
+    }
+    out->decls.push_back(std::move(nd));
+  }
+  for (const auto& e : select->exprs) {
+    auto ne = substitute_vars(e, renames);
+    changed |= (ne != e);
+    out->exprs.push_back(std::move(ne));
+  }
+  for (const auto& p : select->predicates) {
+    auto np = p;
+    np.lhs = substitute_vars(p.lhs, renames);
+    np.rhs = substitute_vars(p.rhs, renames);
+    changed |= (np.lhs != p.lhs) || (np.rhs != p.rhs);
+    out->predicates.push_back(std::move(np));
+  }
+  if (!changed) return select;
+  return out;
+}
+
+ExprPtr substitute_vars(const ExprPtr& expr,
+                        const std::map<std::string, std::string>& renames) {
+  if (!expr || renames.empty()) return expr;
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kVar: {
+      auto it = renames.find(expr->name);
+      if (it == renames.end()) return expr;
+      return scsql::make_var(it->second, expr->pos);
+    }
+    case ExprKind::kCall:
+    case ExprKind::kBagCtor:
+    case ExprKind::kBinary:
+    case ExprKind::kNeg: {
+      bool changed = false;
+      std::vector<ExprPtr> args;
+      args.reserve(expr->args.size());
+      for (const auto& a : expr->args) {
+        auto na = substitute_vars(a, renames);
+        changed |= (na != a);
+        args.push_back(std::move(na));
+      }
+      if (!changed) return expr;
+      auto out = std::make_shared<Expr>(*expr);
+      out->args = std::move(args);
+      return out;
+    }
+    case ExprKind::kSelect: {
+      auto ns = substitute_vars(expr->select, renames);
+      if (ns == expr->select) return expr;
+      auto out = std::make_shared<Expr>(*expr);
+      out->select = std::move(ns);
+      return out;
+    }
+  }
+  return expr;
+}
+
+}  // namespace scsq::exec

@@ -1,0 +1,27 @@
+// AST variable renaming, used when inlining user-defined query functions.
+//
+// Inlining `radix2('src')` splices the function body's select into the
+// caller's scope; its local variables (a, b, c) and parameters (s) are
+// renamed with a fresh prefix so they cannot collide with the caller's
+// names.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "scsql/ast.hpp"
+
+namespace scsq::exec {
+
+/// Returns `expr` with every variable (and nested select declaration)
+/// whose name appears in `renames` replaced by the mapped name.
+/// Function-call names are never renamed. Returns the original pointer
+/// when nothing changed.
+scsql::ExprPtr substitute_vars(const scsql::ExprPtr& expr,
+                               const std::map<std::string, std::string>& renames);
+
+/// Same for a whole select (declarations, select list and predicates).
+scsql::SelectPtr substitute_vars(const scsql::SelectPtr& select,
+                                 const std::map<std::string, std::string>& renames);
+
+}  // namespace scsq::exec

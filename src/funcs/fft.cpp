@@ -1,0 +1,89 @@
+#include "funcs/fft.hpp"
+
+#include <numbers>
+
+#include "util/logging.hpp"
+
+namespace scsq::funcs {
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+CVec fft_complex(CVec a) {
+  const std::size_t n = a.size();
+  SCSQ_CHECK(is_pow2(n)) << "fft size must be a power of two, got " << n;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wl(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        auto u = a[i + k];
+        auto v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  return a;
+}
+
+CVec fft(const std::vector<double>& input) {
+  CVec a(input.begin(), input.end());
+  return fft_complex(std::move(a));
+}
+
+CVec naive_dft(const std::vector<double>& input) {
+  const std::size_t n = input.size();
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          -2.0 * std::numbers::pi * static_cast<double>(k) * static_cast<double>(t) /
+          static_cast<double>(n);
+      acc += input[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> odd(const std::vector<double>& x) {
+  std::vector<double> out;
+  out.reserve(x.size() / 2);
+  for (std::size_t i = 1; i < x.size(); i += 2) out.push_back(x[i]);
+  return out;
+}
+
+std::vector<double> even(const std::vector<double>& x) {
+  std::vector<double> out;
+  out.reserve((x.size() + 1) / 2);
+  for (std::size_t i = 0; i < x.size(); i += 2) out.push_back(x[i]);
+  return out;
+}
+
+CVec radix_combine(const CVec& even_fft, const CVec& odd_fft) {
+  SCSQ_CHECK(even_fft.size() == odd_fft.size())
+      << "radix_combine halves differ: " << even_fft.size() << " vs " << odd_fft.size();
+  const std::size_t half = even_fft.size();
+  const std::size_t n = 2 * half;
+  CVec out(n);
+  for (std::size_t k = 0; k < half; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    const std::complex<double> w(std::cos(angle), std::sin(angle));
+    out[k] = even_fft[k] + w * odd_fft[k];
+    out[k + half] = even_fft[k] - w * odd_fft[k];
+  }
+  return out;
+}
+
+}  // namespace scsq::funcs

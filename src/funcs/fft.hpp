@@ -1,0 +1,40 @@
+// Signal-processing builtins used by the paper's radix2 FFT example.
+//
+// The paper (§2.4) parallelizes FFT radix-2 style: odd(x)/even(x) split
+// an array, fft() transforms each half on a separate stream process, and
+// radixcombine() merges the partial results:
+//   X[k]        = E[k] + w^k O[k]
+//   X[k + N/2]  = E[k] - w^k O[k],   w = exp(-2*pi*i/N)
+// A naive O(n^2) DFT is provided as the test oracle.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace scsq::funcs {
+
+using CVec = std::vector<std::complex<double>>;
+
+/// In-order iterative radix-2 FFT. Size must be a power of two (>= 1).
+CVec fft(const std::vector<double>& input);
+
+/// FFT of an already-complex sequence (used internally and in tests).
+CVec fft_complex(CVec input);
+
+/// Naive O(n^2) DFT — the correctness oracle for fft().
+CVec naive_dft(const std::vector<double>& input);
+
+/// Elements at odd indices (x[1], x[3], ...).
+std::vector<double> odd(const std::vector<double>& x);
+
+/// Elements at even indices (x[0], x[2], ...).
+std::vector<double> even(const std::vector<double>& x);
+
+/// Radix-2 combine of the FFTs of the even- and odd-indexed halves:
+/// given E = fft(even(x)) and O = fft(odd(x)), returns fft(x).
+CVec radix_combine(const CVec& even_fft, const CVec& odd_fft);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+}  // namespace scsq::funcs

@@ -1,0 +1,57 @@
+#include "funcs/textgen.hpp"
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace scsq::funcs {
+namespace {
+
+const char* const kDictionary[] = {
+    "antenna", "stream",  "signal", "torus",   "query",   "buffer", "node",
+    "pulsar",  "cluster", "merge",  "process", "radio",   "noise",  "fft",
+    "gain",    "flux",    "epoch",  "drift",   "sky",     "beam",
+};
+constexpr std::size_t kDictSize = sizeof(kDictionary) / sizeof(kDictionary[0]);
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string filename_for(std::int64_t index) {
+  return "lofar_obs_" + std::to_string(index) + ".log";
+}
+
+std::vector<std::string> file_lines(const std::string& filename,
+                                    const TextGenOptions& options) {
+  util::Rng rng(fnv1a(filename));
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(options.lines_per_file));
+  for (int l = 0; l < options.lines_per_file; ++l) {
+    std::string line;
+    for (int w = 0; w < options.words_per_line; ++w) {
+      if (w > 0) line += ' ';
+      line += kDictionary[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kDictSize) - 1))];
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::vector<std::string> grep_file(const std::string& pattern, const std::string& filename,
+                                   const TextGenOptions& options) {
+  std::vector<std::string> out;
+  for (auto& line : file_lines(filename, options)) {
+    if (util::contains(line, pattern)) out.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace scsq::funcs

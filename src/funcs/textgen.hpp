@@ -1,0 +1,32 @@
+// Synthetic text corpus for the mapreduce grep example.
+//
+// The paper's distributed grep runs over a table of 1000 filenames. We
+// have no corpus, so file contents are generated deterministically from
+// the filename: every file gets `lines_per_file` lines of pseudo-random
+// words drawn from a fixed dictionary, so a given (filename, pattern)
+// always yields the same matches on every run and node — which the grep
+// example's correctness test relies on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scsq::funcs {
+
+struct TextGenOptions {
+  int lines_per_file = 64;
+  int words_per_line = 8;
+};
+
+/// The filename table: filename(i) of the paper's grep query.
+std::string filename_for(std::int64_t index);
+
+/// Deterministic synthetic content of a file.
+std::vector<std::string> file_lines(const std::string& filename,
+                                    const TextGenOptions& options = {});
+
+/// Lines of `filename` containing `pattern` (plain substring match).
+std::vector<std::string> grep_file(const std::string& pattern, const std::string& filename,
+                                   const TextGenOptions& options = {});
+
+}  // namespace scsq::funcs

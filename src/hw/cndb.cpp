@@ -1,0 +1,112 @@
+#include "hw/cndb.hpp"
+
+#include <algorithm>
+
+namespace scsq::hw {
+
+Cndb::Cndb(int node_count, std::function<int(int)> pset_of) {
+  SCSQ_CHECK(node_count >= 1) << "empty cluster";
+  busy_.assign(node_count, false);
+  pset_.resize(node_count);
+  for (int i = 0; i < node_count; ++i) {
+    pset_[i] = pset_of(i);
+    pset_count_ = std::max(pset_count_, pset_[i] + 1);
+  }
+}
+
+std::optional<int> Cndb::next_available() {
+  const int n = node_count();
+  for (int step = 0; step < n; ++step) {
+    int node = (cursor_ + step) % n;
+    if (!busy_[node]) {
+      cursor_ = (node + 1) % n;
+      return node;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> Cndb::next_available_spread() {
+  if (pset_count_ <= 0) return next_available();
+  int best_pset = -1;
+  int best_busy = INT32_MAX;
+  std::vector<int> busy_per_pset(static_cast<std::size_t>(pset_count_), 0);
+  std::vector<int> first_free(static_cast<std::size_t>(pset_count_), -1);
+  for (int i = 0; i < node_count(); ++i) {
+    const int p = pset_[i];
+    if (p < 0) continue;
+    if (busy_[i]) {
+      busy_per_pset[static_cast<std::size_t>(p)] += 1;
+    } else if (first_free[static_cast<std::size_t>(p)] < 0) {
+      first_free[static_cast<std::size_t>(p)] = i;
+    }
+  }
+  for (int p = 0; p < pset_count_; ++p) {
+    if (first_free[static_cast<std::size_t>(p)] < 0) continue;  // pset full
+    if (busy_per_pset[static_cast<std::size_t>(p)] < best_busy) {
+      best_busy = busy_per_pset[static_cast<std::size_t>(p)];
+      best_pset = p;
+    }
+  }
+  if (best_pset < 0) return std::nullopt;
+  return first_free[static_cast<std::size_t>(best_pset)];
+}
+
+std::optional<int> Cndb::first_available_in(
+    const std::vector<int>& allocation_sequence) const {
+  for (int node : allocation_sequence) {
+    SCSQ_CHECK(node >= 0 && node < node_count())
+        << "allocation sequence names unknown node " << node;
+    if (!busy_[node]) return node;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Cndb::round_robin_available(int count) const {
+  std::vector<int> available;
+  for (int i = 0; i < node_count(); ++i) {
+    if (!busy_[i]) available.push_back(i);
+  }
+  std::vector<int> out;
+  if (available.empty()) return out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(available[static_cast<std::size_t>(i) % available.size()]);
+  }
+  return out;
+}
+
+std::vector<int> Cndb::nodes_in_pset(int pset) const {
+  std::vector<int> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (pset_[i] == pset) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Cndb::pset_round_robin(int count) const {
+  // Successive entries belong to successive psets; within each pset,
+  // successive rounds name its successive available nodes. Busy nodes
+  // are skipped entirely (they can never be selected).
+  std::vector<std::vector<int>> per_pset(static_cast<std::size_t>(std::max(pset_count_, 1)));
+  for (int i = 0; i < node_count(); ++i) {
+    if (pset_[i] >= 0 && !busy_[i]) per_pset[static_cast<std::size_t>(pset_[i])].push_back(i);
+  }
+  std::vector<int> out;
+  std::size_t round = 0;
+  while (static_cast<int>(out.size()) < count) {
+    bool produced = false;
+    for (const auto& nodes : per_pset) {
+      if (static_cast<int>(out.size()) >= count) break;
+      if (round < nodes.size()) {
+        out.push_back(nodes[round]);
+        produced = true;
+      }
+    }
+    if (!produced) break;  // all psets exhausted
+    ++round;
+  }
+  return out;
+}
+
+}  // namespace scsq::hw

@@ -1,0 +1,75 @@
+// Compute node database (CNDB).
+//
+// Each cluster coordinator "maintains an internal compute node database
+// containing the properties and status of the possibly thousands of
+// compute nodes in its cluster. A node selection algorithm in the
+// cluster coordinator starts the new RP on a suitable compute node by
+// querying its CNDB. Currently, a naive node selection algorithm is
+// used, returning the next available node." (paper §2.2)
+//
+// The CNDB also backs the allocation-sequence functions: urr(cl) walks
+// available nodes round-robin, inPset(k) lists a pset's nodes, and
+// psetrr() yields one node per pset round-robin.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace scsq::hw {
+
+class Cndb {
+ public:
+  /// `pset_of` maps a node index to its pset (or -1 for clusters
+  /// without psets, i.e. the Linux clusters).
+  Cndb(int node_count, std::function<int(int)> pset_of);
+
+  /// Convenience for Linux clusters (no psets).
+  explicit Cndb(int node_count)
+      : Cndb(node_count, [](int) { return -1; }) {}
+
+  int node_count() const { return static_cast<int>(busy_.size()); }
+  bool busy(int node) const { return busy_.at(node); }
+  void set_busy(int node, bool b) { busy_.at(node) = b; }
+  int pset_of(int node) const { return pset_.at(node); }
+  int pset_count() const { return pset_count_; }
+
+  /// The paper's naive node selection: the next available node after an
+  /// internal cursor (round-robin so repeated selections spread out).
+  std::optional<int> next_available();
+
+  /// Topology-aware selection (the paper's proposed extension of the
+  /// node selection algorithm): picks an available node from the pset
+  /// with the fewest busy nodes, spreading receivers across I/O nodes
+  /// like psetrr() does — the Fig. 15 recipe for inbound bandwidth.
+  /// Falls back to next_available() for clusters without psets.
+  std::optional<int> next_available_spread();
+
+  /// Node selection restricted by an allocation sequence: "the node
+  /// selection algorithm will choose the first available node in the
+  /// allocation sequence" (paper §2.4).
+  std::optional<int> first_available_in(const std::vector<int>& allocation_sequence) const;
+
+  /// urr(cl): a round-robin stream of available nodes; each call to this
+  /// generator-style helper advances an independent cursor so that the
+  /// k-th element names the k-th distinct available node (wrapping).
+  std::vector<int> round_robin_available(int count) const;
+
+  /// inPset(k): all node indices in pset k (available or not; busy nodes
+  /// are skipped by the selection step).
+  std::vector<int> nodes_in_pset(int pset) const;
+
+  /// psetrr(): node indices where each successive entry belongs to the
+  /// next pset round-robin (the first available node of each pset).
+  std::vector<int> pset_round_robin(int count) const;
+
+ private:
+  std::vector<bool> busy_;
+  std::vector<int> pset_;
+  int pset_count_ = 0;
+  int cursor_ = 0;
+};
+
+}  // namespace scsq::hw

@@ -1,0 +1,24 @@
+// Placement of a running process: a cluster name and a node index.
+#pragma once
+
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace scsq::hw {
+
+/// Cluster names used throughout the system (the paper's Fig. 1/2).
+inline constexpr const char* kFrontEnd = "fe";
+inline constexpr const char* kBackEnd = "be";
+inline constexpr const char* kBlueGene = "bg";
+
+struct Location {
+  std::string cluster;  // "fe", "be" or "bg"
+  int node = -1;        // node index within the cluster (BG: torus rank)
+
+  bool operator==(const Location&) const = default;
+
+  std::string to_string() const { return cluster + ":" + std::to_string(node); }
+};
+
+}  // namespace scsq::hw

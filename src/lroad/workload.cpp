@@ -1,0 +1,191 @@
+#include "lroad/workload.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace scsq::lroad {
+
+std::vector<Report> generate_reports(const WorkloadParams& p) {
+  SCSQ_CHECK(p.vehicles >= 1 && p.segments >= 1 && p.ticks >= 1) << "bad workload params";
+  util::Rng rng(p.seed);
+
+  struct Vehicle {
+    double position;   // miles
+    double preferred;  // mph
+    bool stopped = false;
+  };
+  std::vector<Vehicle> fleet;
+  fleet.reserve(static_cast<std::size_t>(p.vehicles));
+  for (int v = 0; v < p.vehicles; ++v) {
+    Vehicle veh;
+    veh.position = rng.uniform(0.0, p.road_miles);
+    veh.preferred = rng.uniform(p.min_speed, p.max_speed);
+    fleet.push_back(veh);
+  }
+
+  const double seg_len = p.road_miles / p.segments;
+  auto segment_of = [&](double pos) {
+    double wrapped = pos - p.road_miles * std::floor(pos / p.road_miles);
+    int seg = static_cast<int>(wrapped / seg_len);
+    return std::min(seg, p.segments - 1);
+  };
+
+  std::vector<Report> out;
+  out.reserve(static_cast<std::size_t>(p.vehicles) * static_cast<std::size_t>(p.ticks));
+  int crashed_a = -1, crashed_b = -1;
+
+  for (int t = 0; t < p.ticks; ++t) {
+    // Script the accident: two random vehicles stop where they are.
+    if (t == p.accident_start_tick && p.vehicles >= 2) {
+      crashed_a = static_cast<int>(rng.uniform_int(0, p.vehicles - 1));
+      do {
+        crashed_b = static_cast<int>(rng.uniform_int(0, p.vehicles - 1));
+      } while (crashed_b == crashed_a);
+      fleet[static_cast<std::size_t>(crashed_a)].stopped = true;
+      fleet[static_cast<std::size_t>(crashed_b)].stopped = true;
+    }
+    if (p.accident_start_tick >= 0 && t == p.accident_start_tick + p.accident_duration_ticks) {
+      if (crashed_a >= 0) fleet[static_cast<std::size_t>(crashed_a)].stopped = false;
+      if (crashed_b >= 0) fleet[static_cast<std::size_t>(crashed_b)].stopped = false;
+    }
+
+    // Congestion per segment for the slowdown rule: segments with a
+    // stopped vehicle force traffic down to crawling speed.
+    std::set<int> blocked;
+    for (std::size_t v = 0; v < fleet.size(); ++v) {
+      if (fleet[v].stopped) blocked.insert(segment_of(fleet[v].position));
+    }
+
+    for (int v = 0; v < p.vehicles; ++v) {
+      auto& veh = fleet[static_cast<std::size_t>(v)];
+      const int seg = segment_of(veh.position);
+      double speed;
+      if (veh.stopped) {
+        speed = 0.0;
+      } else if (blocked.contains(seg)) {
+        speed = std::min(veh.preferred, 10.0);  // crawl through the accident segment
+      } else {
+        // Small per-tick speed wobble around the preferred speed.
+        speed = std::clamp(veh.preferred + rng.normal(0.0, 1.5), p.min_speed * 0.5,
+                           p.max_speed);
+      }
+      out.push_back(Report{t * p.tick_seconds, v, speed, seg});
+      veh.position += speed * p.tick_seconds / 3600.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> encode_tick(const std::vector<Report>& tick_reports) {
+  std::vector<double> out;
+  out.reserve(tick_reports.size() * 4);
+  for (const auto& r : tick_reports) {
+    out.push_back(r.time);
+    out.push_back(static_cast<double>(r.vehicle));
+    out.push_back(r.speed);
+    out.push_back(static_cast<double>(r.segment));
+  }
+  return out;
+}
+
+std::vector<Report> decode_reports(const std::vector<double>& data) {
+  SCSQ_CHECK(data.size() % 4 == 0) << "report array length must be a multiple of 4";
+  std::vector<Report> out;
+  out.reserve(data.size() / 4);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    Report r;
+    r.time = data[i];
+    r.vehicle = static_cast<int>(data[i + 1]);
+    r.speed = data[i + 2];
+    r.segment = static_cast<int>(data[i + 3]);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> encode_trace(const WorkloadParams& params) {
+  auto reports = generate_reports(params);
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(params.ticks));
+  std::size_t i = 0;
+  for (int t = 0; t < params.ticks; ++t) {
+    std::vector<Report> tick;
+    while (i < reports.size() && reports[i].time <= t * params.tick_seconds + 1e-9 &&
+           static_cast<int>(reports[i].time / params.tick_seconds + 0.5) == t) {
+      tick.push_back(reports[i]);
+      ++i;
+    }
+    out.push_back(encode_tick(tick));
+  }
+  SCSQ_CHECK(i == reports.size()) << "trace batching lost reports";
+  return out;
+}
+
+std::vector<std::pair<int, double>> oracle_lav(const std::vector<Report>& reports,
+                                               int window_ticks, double tick_seconds) {
+  if (reports.empty()) return {};
+  double t_max = 0;
+  for (const auto& r : reports) t_max = std::max(t_max, r.time);
+  const double cutoff = t_max - window_ticks * tick_seconds + 1e-9;
+  std::map<int, std::pair<double, int>> acc;  // segment -> (speed sum, count)
+  for (const auto& r : reports) {
+    if (r.time <= cutoff) continue;
+    auto& [sum, count] = acc[r.segment];
+    sum += r.speed;
+    count += 1;
+  }
+  std::vector<std::pair<int, double>> out;
+  for (const auto& [seg, sc] : acc) out.emplace_back(seg, sc.first / sc.second);
+  return out;
+}
+
+std::vector<std::pair<int, double>> oracle_tolls(const std::vector<Report>& reports,
+                                                 const TollParams& params,
+                                                 double tick_seconds) {
+  if (reports.empty()) return {};
+  double t_max = 0;
+  for (const auto& r : reports) t_max = std::max(t_max, r.time);
+  const double cutoff = t_max - params.window_ticks * tick_seconds + 1e-9;
+  std::map<int, std::pair<double, int>> speed_acc;
+  std::map<int, std::set<int>> vehicles_in;
+  for (const auto& r : reports) {
+    if (r.time <= cutoff) continue;
+    auto& [sum, count] = speed_acc[r.segment];
+    sum += r.speed;
+    count += 1;
+    vehicles_in[r.segment].insert(r.vehicle);
+  }
+  std::vector<std::pair<int, double>> out;
+  for (const auto& [seg, sc] : speed_acc) {
+    const double lav = sc.first / sc.second;
+    const int nv = static_cast<int>(vehicles_in[seg].size());
+    if (lav < params.lav_threshold && nv > params.free_vehicles) {
+      const double excess = nv - params.free_vehicles;
+      out.emplace_back(seg, params.base_toll * excess * excess);
+    }
+  }
+  return out;
+}
+
+std::vector<int> oracle_accidents(const std::vector<Report>& reports, int stopped_ticks) {
+  // Per vehicle, find runs of consecutive zero-speed reports.
+  std::map<int, std::vector<Report>> by_vehicle;
+  for (const auto& r : reports) by_vehicle[r.vehicle].push_back(r);
+  std::set<int> segs;
+  for (auto& [vid, rs] : by_vehicle) {
+    std::sort(rs.begin(), rs.end(),
+              [](const Report& a, const Report& b) { return a.time < b.time; });
+    int run = 0;
+    for (const auto& r : rs) {
+      run = (r.speed == 0.0) ? run + 1 : 0;
+      if (run >= stopped_ticks) segs.insert(r.segment);
+    }
+  }
+  return {segs.begin(), segs.end()};
+}
+
+}  // namespace scsq::lroad

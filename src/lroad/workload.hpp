@@ -1,0 +1,86 @@
+// Linear-Road-inspired traffic workload (paper §5: "further measurements
+// could be made using benchmarks such as The Linear Road Benchmark").
+//
+// This is a deliberately scaled-down cousin of Linear Road [Arasu et al.,
+// VLDB 2004]: one expressway, one direction, fixed-length segments.
+// Vehicles drive at per-vehicle preferred speeds, slow down behind
+// congestion, and an optional scripted accident stops two vehicles for a
+// stretch of ticks, congesting their segment. The generator is fully
+// deterministic given a seed, so distributed query results can be
+// validated against local oracles.
+//
+// Position reports are encoded into flat numeric arrays (DArray) of
+// [time, vehicle, speed, segment] quadruples — the stream payload our
+// drivers carry natively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scsq::lroad {
+
+struct Report {
+  double time = 0;    // seconds since start
+  int vehicle = 0;
+  double speed = 0;   // mph
+  int segment = 0;
+  bool operator==(const Report&) const = default;
+};
+
+struct WorkloadParams {
+  int vehicles = 50;
+  int segments = 10;
+  int ticks = 60;            // one report per vehicle per tick
+  double tick_seconds = 1.0;
+  double road_miles = 10.0;  // total length; segments are uniform
+  double min_speed = 30.0;
+  double max_speed = 70.0;
+  /// Scripted accident: two vehicles stop in whatever segment they are
+  /// in at accident_start, for accident_duration ticks. -1 disables.
+  int accident_start_tick = -1;
+  int accident_duration_ticks = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the full deterministic report trace, tick-major (all
+/// reports of tick 0, then tick 1, ...).
+std::vector<Report> generate_reports(const WorkloadParams& params);
+
+/// Encodes one tick's reports as a flat array [t, vid, speed, seg]*.
+std::vector<double> encode_tick(const std::vector<Report>& tick_reports);
+
+/// Decodes a flat array back into reports (inverse of encode_tick).
+std::vector<Report> decode_reports(const std::vector<double>& data);
+
+/// Batches the full trace into per-tick encoded arrays — the stream a
+/// source SP emits.
+std::vector<std::vector<double>> encode_trace(const WorkloadParams& params);
+
+// --- Reference (oracle) implementations, batch-computed ---
+// The streaming operators in plan/lroad_ops are independent incremental
+// implementations; tests check they agree with these.
+
+/// Latest average speed per segment: mean speed over the final
+/// `window_ticks` ticks, per segment (segments with no reports omitted).
+std::vector<std::pair<int, double>> oracle_lav(const std::vector<Report>& reports,
+                                               int window_ticks, double tick_seconds);
+
+/// Simplified LRB toll: for each segment, if its LAV < 40 mph and it had
+/// more than `free_vehicles` distinct vehicles in the LAV window, toll =
+/// base * (count - free_vehicles)^2; otherwise 0. Only nonzero tolls are
+/// returned.
+struct TollParams {
+  int window_ticks = 5;
+  double lav_threshold = 40.0;
+  int free_vehicles = 5;
+  double base_toll = 2.0;
+};
+std::vector<std::pair<int, double>> oracle_tolls(const std::vector<Report>& reports,
+                                                 const TollParams& params,
+                                                 double tick_seconds);
+
+/// Accident detection: segments where some vehicle reported speed 0 for
+/// at least `stopped_ticks` consecutive ticks.
+std::vector<int> oracle_accidents(const std::vector<Report>& reports, int stopped_ticks);
+
+}  // namespace scsq::lroad

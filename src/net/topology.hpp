@@ -1,0 +1,101 @@
+// 3D torus topology mathematics (pure, no simulation state).
+//
+// The BlueGene/L interconnect is a 3D torus; the paper's Fig. 7
+// placements depend on node ranks mapping to torus coordinates and on
+// messages between non-adjacent nodes being "routed through the
+// communication co-processors of the nodes in between". We use the
+// standard X-then-Y-then-Z dimension-ordered routing with shortest wrap
+// direction per dimension (ties broken toward decreasing coordinate, so
+// rank 2 -> rank 0 passes through rank 1 as in the paper's Fig. 7A),
+// matching BlueGene's deterministic routing mode.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace scsq::net {
+
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  bool operator==(const TorusCoord&) const = default;
+};
+
+class Torus3D {
+ public:
+  Torus3D(int dim_x, int dim_y, int dim_z) : dims_{dim_x, dim_y, dim_z} {
+    SCSQ_CHECK(dim_x >= 1 && dim_y >= 1 && dim_z >= 1) << "bad torus dims";
+  }
+
+  int node_count() const { return dims_[0] * dims_[1] * dims_[2]; }
+  int dim(int axis) const { return dims_.at(axis); }
+
+  /// Rank layout: x varies fastest (rank = x + dx*(y + dy*z)), so ranks
+  /// 0,1,2 lie along a line in X (the paper's "sequential" placement) and
+  /// rank dx is the Y-neighbor of rank 0 (the "balanced" placement).
+  TorusCoord coord_of(int rank) const {
+    SCSQ_CHECK(rank >= 0 && rank < node_count()) << "rank out of range: " << rank;
+    TorusCoord c;
+    c.x = rank % dims_[0];
+    c.y = (rank / dims_[0]) % dims_[1];
+    c.z = rank / (dims_[0] * dims_[1]);
+    return c;
+  }
+
+  int rank_of(TorusCoord c) const {
+    SCSQ_CHECK(c.x >= 0 && c.x < dims_[0] && c.y >= 0 && c.y < dims_[1] && c.z >= 0 &&
+               c.z < dims_[2])
+        << "coord out of range";
+    return c.x + dims_[0] * (c.y + dims_[1] * c.z);
+  }
+
+  /// Signed shortest step (-1, 0 or +1 direction) and distance along one
+  /// axis with wraparound.
+  int axis_distance(int from, int to, int axis) const {
+    int d = dims_[axis];
+    int fwd = ((to - from) % d + d) % d;
+    int bwd = d - fwd;
+    return fwd <= bwd ? fwd : bwd;
+  }
+
+  /// Minimal hop count between two ranks.
+  int hop_distance(int a, int b) const {
+    TorusCoord ca = coord_of(a), cb = coord_of(b);
+    return axis_distance(ca.x, cb.x, 0) + axis_distance(ca.y, cb.y, 1) +
+           axis_distance(ca.z, cb.z, 2);
+  }
+
+  /// Dimension-ordered route from a to b, inclusive of both endpoints.
+  /// route(a, a) == {a}.
+  std::vector<int> route(int a, int b) const {
+    std::vector<int> path;
+    TorusCoord cur = coord_of(a);
+    TorusCoord dst = coord_of(b);
+    path.push_back(a);
+    auto walk_axis = [&](int axis, int& cur_v, int dst_v) {
+      int d = dims_[axis];
+      int fwd = ((dst_v - cur_v) % d + d) % d;
+      int bwd = d - fwd;
+      int step = (fwd < bwd) ? 1 : -1;
+      int n = std::min(fwd, bwd);
+      if (fwd == 0) n = 0;
+      for (int i = 0; i < n; ++i) {
+        cur_v = ((cur_v + step) % d + d) % d;
+        path.push_back(rank_of(cur));
+      }
+    };
+    walk_axis(0, cur.x, dst.x);
+    walk_axis(1, cur.y, dst.y);
+    walk_axis(2, cur.z, dst.z);
+    SCSQ_CHECK(path.back() == b) << "routing error " << a << "->" << b;
+    return path;
+  }
+
+ private:
+  std::array<int, 3> dims_;
+};
+
+}  // namespace scsq::net

@@ -1,0 +1,49 @@
+#include "net/tree_net.hpp"
+
+namespace scsq::net {
+
+TreeNetwork::TreeNetwork(sim::Simulator& sim, int pset_count, int compute_count,
+                         TreeParams params)
+    : sim_(&sim), params_(params) {
+  SCSQ_CHECK(pset_count >= 1) << "need at least one pset";
+  SCSQ_CHECK(compute_count >= 1) << "need at least one compute node";
+  for (int i = 0; i < pset_count; ++i) {
+    io_cpus_.push_back(
+        std::make_unique<sim::Resource>(sim, 1, "io" + std::to_string(i) + ".cpu"));
+    tree_links_.push_back(
+        std::make_unique<sim::Resource>(sim, 1, "tree" + std::to_string(i)));
+  }
+  for (int i = 0; i < compute_count; ++i) {
+    ingest_.push_back(
+        std::make_unique<sim::Resource>(sim, 1, "cn" + std::to_string(i) + ".ingest"));
+  }
+}
+
+sim::Task<void> TreeNetwork::forward_inbound(int pset, int compute_rank,
+                                             std::uint64_t bytes, double io_factor,
+                                             double compute_factor) {
+  SCSQ_CHECK(io_factor >= 1.0 && compute_factor >= 1.0) << "cost factors must be >= 1";
+  const double b = static_cast<double>(bytes);
+  // CIOD copies the payload from its socket into the tree device.
+  co_await io_cpu(pset).use(params_.io_per_message_overhead_s +
+                            b * params_.io_forward_per_byte_s * io_factor);
+  // Tree wire time to the compute node.
+  co_await tree_link(pset).use(b / params_.link_bandwidth_Bps);
+  // Compute-node ingest (CNK syscall path + copy into the stream buffer).
+  co_await compute_ingest(compute_rank)
+      .use(params_.compute_per_message_overhead_s +
+           b * params_.compute_recv_per_byte_s * compute_factor);
+}
+
+sim::Task<void> TreeNetwork::forward_outbound(int pset, int compute_rank,
+                                              std::uint64_t bytes, double io_factor) {
+  SCSQ_CHECK(io_factor >= 1.0) << "cost factors must be >= 1";
+  const double b = static_cast<double>(bytes);
+  co_await compute_ingest(compute_rank)
+      .use(params_.compute_per_message_overhead_s + b * params_.compute_recv_per_byte_s);
+  co_await tree_link(pset).use(b / params_.link_bandwidth_Bps);
+  co_await io_cpu(pset).use(params_.io_per_message_overhead_s +
+                            b * params_.io_forward_per_byte_s * io_factor);
+}
+
+}  // namespace scsq::net

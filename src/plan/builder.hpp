@@ -1,0 +1,24 @@
+// Compiles a subquery expression into a SQEP operator tree.
+//
+// Expressions arriving here have already been bound at the client
+// manager: sp()/spv() calls were evaluated there (spawning RPs), and the
+// shipped expression references producers only through captured
+// SpHandle values. The builder turns stream function calls into
+// operators and constant-folds everything else through
+// PlanContext::const_eval.
+//
+// Dynamic process creation (sp() inside an RP's own plan) is not
+// supported by this reproduction: the paper's measured queries create
+// all stream processes at submission time, so a nested sp() raises a
+// user error rather than silently mis-executing.
+#pragma once
+
+#include "plan/operator.hpp"
+
+namespace scsq::plan {
+
+/// Builds the operator tree for `expr`. Throws scsql::Error for
+/// unsupported constructs.
+OperatorPtr build_plan(const scsql::ExprPtr& expr, PlanContext& ctx);
+
+}  // namespace scsq::plan

@@ -1,0 +1,129 @@
+#include "plan/lroad_ops.hpp"
+
+namespace scsq::plan {
+
+using catalog::Object;
+
+// ---------------------------------------------------------------------
+// LrSourceOp
+// ---------------------------------------------------------------------
+
+LrSourceOp::LrSourceOp(PlanContext& ctx, lroad::WorkloadParams params)
+    : ctx_(&ctx), trace_(lroad::encode_trace(params)) {}
+
+sim::Task<std::optional<Object>> LrSourceOp::next() {
+  if (index_ >= trace_.size()) co_return std::nullopt;
+  auto& batch = trace_[index_++];
+  co_await ctx_->cpu->use(ctx_->node.op_invoke_s +
+                          8.0 * static_cast<double>(batch.size()) *
+                              ctx_->node.gen_per_byte_s);
+  co_return std::optional<Object>(Object{batch});
+}
+
+// ---------------------------------------------------------------------
+// LrWindowAggOp
+// ---------------------------------------------------------------------
+
+LrWindowAggOp::LrWindowAggOp(PlanContext& ctx, OperatorPtr child, int window_ticks)
+    : ctx_(&ctx), child_(std::move(child)), window_ticks_(window_ticks) {
+  if (window_ticks_ < 1) throw scsql::Error("lr window must be >= 1 tick");
+}
+
+sim::Task<std::optional<Object>> LrWindowAggOp::next() {
+  if (done_) co_return std::nullopt;
+  done_ = true;
+  while (auto obj = co_await child_->next()) {
+    const auto reports = lroad::decode_reports(obj->as_darray());
+    // Incremental per-tick fold; only the trailing window is retained.
+    TickAgg agg;
+    for (const auto& r : reports) {
+      auto& [sum, count] = agg.speed[r.segment];
+      sum += r.speed;
+      count += 1;
+      agg.vehicles[r.segment].insert(r.vehicle);
+    }
+    window_.push_back(std::move(agg));
+    if (static_cast<int>(window_.size()) > window_ticks_) window_.pop_front();
+    co_await ctx_->cpu->use(ctx_->node.op_invoke_s +
+                            static_cast<double>(reports.size()) * ctx_->node.flop_s * 4.0);
+  }
+  auto result = finalize(window_);
+  co_await ctx_->cpu->use(ctx_->node.op_invoke_s);
+  co_return std::optional<Object>(Object{std::move(result)});
+}
+
+std::vector<double> LrLavOp::finalize(const std::deque<TickAgg>& window) {
+  std::map<int, std::pair<double, int>> merged;
+  for (const auto& tick : window) {
+    for (const auto& [seg, sc] : tick.speed) {
+      auto& [sum, count] = merged[seg];
+      sum += sc.first;
+      count += sc.second;
+    }
+  }
+  std::vector<double> out;
+  for (const auto& [seg, sc] : merged) {
+    out.push_back(static_cast<double>(seg));
+    out.push_back(sc.first / sc.second);
+  }
+  return out;
+}
+
+LrTollOp::LrTollOp(PlanContext& ctx, OperatorPtr child, lroad::TollParams params)
+    : LrWindowAggOp(ctx, std::move(child), params.window_ticks), params_(params) {}
+
+std::vector<double> LrTollOp::finalize(const std::deque<TickAgg>& window) {
+  std::map<int, std::pair<double, int>> merged;
+  std::map<int, std::set<int>> vehicles;
+  for (const auto& tick : window) {
+    for (const auto& [seg, sc] : tick.speed) {
+      auto& [sum, count] = merged[seg];
+      sum += sc.first;
+      count += sc.second;
+    }
+    for (const auto& [seg, vids] : tick.vehicles) {
+      vehicles[seg].insert(vids.begin(), vids.end());
+    }
+  }
+  std::vector<double> out;
+  for (const auto& [seg, sc] : merged) {
+    const double lav = sc.first / sc.second;
+    const int nv = static_cast<int>(vehicles[seg].size());
+    if (lav < params_.lav_threshold && nv > params_.free_vehicles) {
+      const double excess = nv - params_.free_vehicles;
+      out.push_back(static_cast<double>(seg));
+      out.push_back(params_.base_toll * excess * excess);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// LrAccidentOp
+// ---------------------------------------------------------------------
+
+LrAccidentOp::LrAccidentOp(PlanContext& ctx, OperatorPtr child, int stopped_ticks)
+    : ctx_(&ctx), child_(std::move(child)), stopped_ticks_(stopped_ticks) {
+  if (stopped_ticks_ < 1) throw scsql::Error("lr_accidents threshold must be >= 1");
+}
+
+sim::Task<std::optional<Object>> LrAccidentOp::next() {
+  if (done_) co_return std::nullopt;
+  done_ = true;
+  while (auto obj = co_await child_->next()) {
+    const auto reports = lroad::decode_reports(obj->as_darray());
+    for (const auto& r : reports) {
+      int& run = run_[r.vehicle];
+      run = (r.speed == 0.0) ? run + 1 : 0;
+      if (run >= stopped_ticks_) segments_.insert(r.segment);
+    }
+    co_await ctx_->cpu->use(ctx_->node.op_invoke_s +
+                            static_cast<double>(reports.size()) * ctx_->node.flop_s * 2.0);
+  }
+  std::vector<double> out;
+  for (int seg : segments_) out.push_back(static_cast<double>(seg));
+  co_await ctx_->cpu->use(ctx_->node.op_invoke_s);
+  co_return std::optional<Object>(Object{std::move(out)});
+}
+
+}  // namespace scsq::plan

@@ -1,0 +1,109 @@
+// Streaming operators for the Linear-Road-inspired workload.
+//
+// SCSQL builtins:
+//   lr_source(vehicles, ticks, seed)        source of per-tick report
+//                                           arrays (accident-free)
+//   lr_source_acc(vehicles, ticks, seed, t) same, accident scripted at
+//                                           tick t
+//   lr_lav(s, window)                       latest average speed per
+//                                           segment (emits [seg, lav]*
+//                                           at end of stream)
+//   lr_tolls(s, window)                     simplified LRB tolls (emits
+//                                           [seg, toll]* at end)
+//   lr_accidents(s, k)                      segments with a vehicle
+//                                           stopped >= k consecutive
+//                                           ticks (emits [seg]* at end)
+//
+// The aggregating operators are *incremental*: they fold per-tick
+// partial aggregates as batches arrive and keep only the trailing
+// window, rather than buffering the raw trace — tests validate them
+// against the batch oracles in lroad/workload.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "lroad/workload.hpp"
+#include "plan/operator.hpp"
+
+namespace scsq::plan {
+
+/// Source: emits one DArray of encoded reports per tick.
+class LrSourceOp final : public Operator {
+ public:
+  LrSourceOp(PlanContext& ctx, lroad::WorkloadParams params);
+  sim::Task<std::optional<catalog::Object>> next() override;
+  std::string name() const override { return "lr_source"; }
+
+ private:
+  PlanContext* ctx_;
+  std::vector<std::vector<double>> trace_;
+  std::size_t index_ = 0;
+};
+
+/// Shared base for the windowed segment aggregators: consumes the child
+/// stream of report batches, maintaining per-tick partial aggregates.
+class LrWindowAggOp : public Operator {
+ public:
+  LrWindowAggOp(PlanContext& ctx, OperatorPtr child, int window_ticks);
+  sim::Task<std::optional<catalog::Object>> next() override;
+
+ protected:
+  struct TickAgg {
+    std::map<int, std::pair<double, int>> speed;  // seg -> (sum, count)
+    std::map<int, std::set<int>> vehicles;        // seg -> vids
+  };
+
+  /// Computes the final emission from the trailing-window aggregates.
+  virtual std::vector<double> finalize(const std::deque<TickAgg>& window) = 0;
+
+  PlanContext* ctx_;
+  OperatorPtr child_;
+  int window_ticks_;
+
+ private:
+  std::deque<TickAgg> window_;
+  bool done_ = false;
+};
+
+/// Latest average speed per segment: emits [seg, lav] pairs (flattened).
+class LrLavOp final : public LrWindowAggOp {
+ public:
+  using LrWindowAggOp::LrWindowAggOp;
+  std::string name() const override { return "lr_lav"; }
+
+ protected:
+  std::vector<double> finalize(const std::deque<TickAgg>& window) override;
+};
+
+/// Simplified LRB tolls: emits [seg, toll] pairs (flattened).
+class LrTollOp final : public LrWindowAggOp {
+ public:
+  LrTollOp(PlanContext& ctx, OperatorPtr child, lroad::TollParams params);
+  std::string name() const override { return "lr_tolls"; }
+
+ protected:
+  std::vector<double> finalize(const std::deque<TickAgg>& window) override;
+
+ private:
+  lroad::TollParams params_;
+};
+
+/// Accident detection: emits the affected segment ids.
+class LrAccidentOp final : public Operator {
+ public:
+  LrAccidentOp(PlanContext& ctx, OperatorPtr child, int stopped_ticks);
+  sim::Task<std::optional<catalog::Object>> next() override;
+  std::string name() const override { return "lr_accidents"; }
+
+ private:
+  PlanContext* ctx_;
+  OperatorPtr child_;
+  int stopped_ticks_;
+  std::map<int, int> run_;  // vehicle -> consecutive stopped reports
+  std::set<int> segments_;
+  bool done_ = false;
+};
+
+}  // namespace scsq::plan

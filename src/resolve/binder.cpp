@@ -1,0 +1,172 @@
+#include "resolve/binder.hpp"
+
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace scsq::resolve {
+namespace {
+
+using scsql::Error;
+using scsql::Expr;
+using scsql::ExprKind;
+using scsql::ExprPtr;
+using scsql::Predicate;
+using scsql::PredKind;
+using scsql::Select;
+
+void collect_vars(const ExprPtr& expr, std::set<std::string>& bound,
+                  std::set<std::string>& free) {
+  if (!expr) return;
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kVar:
+      if (!bound.contains(expr->name)) free.insert(expr->name);
+      return;
+    case ExprKind::kCall:
+    case ExprKind::kBagCtor:
+    case ExprKind::kBinary:
+    case ExprKind::kNeg:
+      for (const auto& a : expr->args) collect_vars(a, bound, free);
+      return;
+    case ExprKind::kSelect: {
+      // A nested select introduces its own declarations; they shadow the
+      // outer scope within the select.
+      std::set<std::string> inner_bound = bound;
+      for (const auto& d : expr->select->decls) inner_bound.insert(d.name);
+      for (const auto& e : expr->select->exprs) collect_vars(e, inner_bound, free);
+      for (const auto& p : expr->select->predicates) {
+        collect_vars(p.lhs, inner_bound, free);
+        collect_vars(p.rhs, inner_bound, free);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> free_vars(const ExprPtr& expr) {
+  std::set<std::string> bound;
+  std::set<std::string> free;
+  collect_vars(expr, bound, free);
+  return free;
+}
+
+BoundQuery bind(const Select& select, const std::set<std::string>& pre_bound) {
+  BoundQuery out;
+  out.select = &select;
+
+  std::set<std::string> declared;
+  for (const auto& d : select.decls) {
+    if (declared.contains(d.name)) {
+      throw Error("variable '" + d.name + "' declared twice", d.pos);
+    }
+    if (pre_bound.contains(d.name)) {
+      throw Error("variable '" + d.name + "' shadows an outer binding", d.pos);
+    }
+    declared.insert(d.name);
+  }
+
+  // Pre-pass: collect enumerated variables so that an equality on an
+  // enumerated variable classifies as a per-row filter, not a binding
+  // (e.g. `i in iota(1,4) and i/2*2 = i`).
+  std::set<std::string> enumerated;
+  for (const auto& p : select.predicates) {
+    if (p.kind != PredKind::kIn) continue;
+    if (p.lhs->kind != ExprKind::kVar) {
+      throw Error("left side of 'in' must be a variable", p.pos);
+    }
+    const auto& var = p.lhs->name;
+    if (!declared.contains(var)) {
+      throw Error("'in' variable '" + var + "' is not declared in the from clause", p.pos);
+    }
+    if (enumerated.contains(var)) {
+      throw Error("variable '" + var + "' is enumerated twice", p.pos);
+    }
+    enumerated.insert(var);
+  }
+
+  // Classify predicates.
+  std::map<std::string, const Predicate*> binding_of;  // var -> its equation
+  std::vector<const Predicate*> enumerations;
+  std::vector<const Predicate*> filters;
+  auto bindable = [&](const ExprPtr& side) {
+    return side->kind == ExprKind::kVar && declared.contains(side->name) &&
+           !enumerated.contains(side->name) && !binding_of.contains(side->name);
+  };
+  for (const auto& p : select.predicates) {
+    if (p.kind == PredKind::kIn) {
+      enumerations.push_back(&p);
+      continue;
+    }
+    // Equality with a declared, not-yet-bound, non-enumerated variable
+    // on one side is a binding equation; prefer the left side (the
+    // paper always writes `var = expr`).
+    if (p.op == scsql::BinOp::kEq && bindable(p.lhs)) {
+      binding_of[p.lhs->name] = &p;
+    } else if (p.op == scsql::BinOp::kEq && bindable(p.rhs)) {
+      binding_of[p.rhs->name] = &p;
+    } else {
+      filters.push_back(&p);
+    }
+  }
+
+  // Every declared variable must be bound or enumerated.
+  for (const auto& d : select.decls) {
+    if (!binding_of.contains(d.name) && !enumerated.contains(d.name)) {
+      throw Error("variable '" + d.name + "' is never bound", d.pos);
+    }
+  }
+
+  // Topologically order the bindings by variable dependencies.
+  std::set<std::string> ready = pre_bound;
+  for (const auto& v : enumerated) ready.insert(v);
+
+  auto deps_satisfied = [&](const Predicate* p, const std::string& var) {
+    const ExprPtr& rhs = (p->lhs->kind == ExprKind::kVar && p->lhs->name == var) ? p->rhs
+                                                                                 : p->lhs;
+    for (const auto& dep : free_vars(rhs)) {
+      if (declared.contains(dep) && !ready.contains(dep)) return false;
+    }
+    return true;
+  };
+
+  std::map<std::string, const Predicate*> remaining = binding_of;
+  while (!remaining.empty()) {
+    bool progressed = false;
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      if (deps_satisfied(it->second, it->first)) {
+        out.bindings.push_back(it->second);
+        ready.insert(it->first);
+        it = remaining.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed) {
+      throw Error("cyclic dependency among bindings (starting at '" +
+                      remaining.begin()->first + "')",
+                  remaining.begin()->second->pos);
+    }
+  }
+
+  // Enumeration expressions may reference bound variables (iota(1,n));
+  // check those are resolvable too.
+  for (const auto* p : enumerations) {
+    for (const auto& dep : free_vars(p->rhs)) {
+      if (declared.contains(dep) && !ready.contains(dep) && !enumerated.contains(dep)) {
+        throw Error("enumeration of '" + p->lhs->name + "' depends on unbound '" + dep + "'",
+                    p->pos);
+      }
+    }
+  }
+
+  out.enumerations = std::move(enumerations);
+  out.filters = std::move(filters);
+  return out;
+}
+
+}  // namespace scsq::resolve

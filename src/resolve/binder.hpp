@@ -1,0 +1,45 @@
+// Query binding: classifying and ordering where-clause predicates.
+//
+// SCSQL where clauses are conjunctions of equations. The paper's queries
+// bind declared variables with `var = expr` (e.g. `b=sp(...)`), iterate
+// with `var in collection` (e.g. `i in iota(1,n)`, `p in a`), and may
+// filter with general comparisons. The binder:
+//   * classifies each predicate as a binding, an enumeration or a filter;
+//   * orders bindings so that every expression is evaluated after the
+//     variables it references (`c=sp(count(merge(a)),...)` runs after
+//     `a=spv(...)`), which is exactly the order RPs must be spawned in;
+//   * reports unbound variables, double bindings and dependency cycles
+//     as user errors with source positions.
+//
+// It also provides free-variable analysis, used when sp()/spv() capture
+// the environment of a shipped subquery.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scsql/ast.hpp"
+
+namespace scsq::resolve {
+
+struct BoundQuery {
+  const scsql::Select* select = nullptr;
+  /// Equality bindings in dependency order (evaluate lhs := rhs).
+  std::vector<const scsql::Predicate*> bindings;
+  /// `var in expr` enumerations (iteration generators).
+  std::vector<const scsql::Predicate*> enumerations;
+  /// Remaining predicates, applied as filters per row.
+  std::vector<const scsql::Predicate*> filters;
+};
+
+/// Binds a select. `pre_bound` names variables already in scope (outer
+/// environment / function parameters). Throws scsql::Error on unbound
+/// variables, conflicting bindings, or cyclic dependencies.
+BoundQuery bind(const scsql::Select& select, const std::set<std::string>& pre_bound = {});
+
+/// Names of all variables referenced by `expr` that are not bound within
+/// it (by a nested select's own declarations).
+std::set<std::string> free_vars(const scsql::ExprPtr& expr);
+
+}  // namespace scsq::resolve

@@ -1,0 +1,164 @@
+#include "scsql/ast.hpp"
+
+#include <sstream>
+
+namespace scsq::scsql {
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+std::string TypeRef::to_string() const {
+  const char* base = "object";
+  switch (name) {
+    case TypeName::kInteger: base = "integer"; break;
+    case TypeName::kReal: base = "real"; break;
+    case TypeName::kString: base = "string"; break;
+    case TypeName::kBoolean: base = "boolean"; break;
+    case TypeName::kSp: base = "sp"; break;
+    case TypeName::kStream: base = "stream"; break;
+    case TypeName::kObject: base = "object"; break;
+  }
+  return is_bag ? std::string("bag of ") + base : std::string(base);
+}
+
+std::string Expr::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.kind() == catalog::Kind::kStr) {
+        os << '\'' << literal.as_str() << '\'';
+      } else {
+        os << literal.to_string();
+      }
+      break;
+    case ExprKind::kVar:
+      os << name;
+      break;
+    case ExprKind::kCall: {
+      os << name << '(';
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args[i]->to_string();
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::kBagCtor: {
+      os << '{';
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args[i]->to_string();
+      }
+      os << '}';
+      break;
+    }
+    case ExprKind::kSelect:
+      os << '(' << select_to_string(*select) << ')';
+      break;
+    case ExprKind::kBinary:
+      os << '(' << args[0]->to_string() << ' ' << binop_name(op) << ' '
+         << args[1]->to_string() << ')';
+      break;
+    case ExprKind::kNeg:
+      os << "-" << args[0]->to_string();
+      break;
+  }
+  return os.str();
+}
+
+std::string select_to_string(const Select& sel) {
+  std::ostringstream os;
+  os << "select ";
+  for (std::size_t i = 0; i < sel.exprs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << sel.exprs[i]->to_string();
+  }
+  if (!sel.decls.empty()) {
+    os << " from ";
+    for (std::size_t i = 0; i < sel.decls.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << sel.decls[i].type.to_string() << ' ' << sel.decls[i].name;
+    }
+  }
+  if (!sel.predicates.empty()) {
+    os << " where ";
+    for (std::size_t i = 0; i < sel.predicates.size(); ++i) {
+      if (i > 0) os << " and ";
+      const auto& p = sel.predicates[i];
+      if (p.kind == PredKind::kIn) {
+        os << p.lhs->to_string() << " in " << p.rhs->to_string();
+      } else {
+        os << p.lhs->to_string() << ' ' << binop_name(p.op) << ' ' << p.rhs->to_string();
+      }
+    }
+  }
+  return os.str();
+}
+
+namespace {
+std::shared_ptr<Expr> blank(ExprKind kind, SourcePos pos) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->pos = pos;
+  return e;
+}
+}  // namespace
+
+ExprPtr make_literal(catalog::Object value, SourcePos pos) {
+  auto e = blank(ExprKind::kLiteral, pos);
+  e->literal = std::move(value);
+  return e;
+}
+
+ExprPtr make_var(std::string name, SourcePos pos) {
+  auto e = blank(ExprKind::kVar, pos);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args, SourcePos pos) {
+  auto e = blank(ExprKind::kCall, pos);
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr make_bag(std::vector<ExprPtr> elems, SourcePos pos) {
+  auto e = blank(ExprKind::kBagCtor, pos);
+  e->args = std::move(elems);
+  return e;
+}
+
+ExprPtr make_select(SelectPtr select, SourcePos pos) {
+  auto e = blank(ExprKind::kSelect, pos);
+  e->select = std::move(select);
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourcePos pos) {
+  auto e = blank(ExprKind::kBinary, pos);
+  e->op = op;
+  e->args = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr make_neg(ExprPtr operand, SourcePos pos) {
+  auto e = blank(ExprKind::kNeg, pos);
+  e->args = {std::move(operand)};
+  return e;
+}
+
+}  // namespace scsq::scsql

@@ -1,0 +1,124 @@
+// SCSQL abstract syntax.
+//
+// The AST is immutable after parsing and shared via shared_ptr<const>:
+// sp()/spv() ship subquery expressions (plus captured variable values)
+// to remote running processes, so subtrees are referenced from several
+// places without copying.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/object.hpp"
+#include "scsql/error.hpp"
+
+namespace scsq::scsql {
+
+enum class TypeName : std::uint8_t {
+  kInteger,
+  kReal,
+  kString,
+  kBoolean,
+  kSp,      // stream process — first-class, the paper's contribution
+  kStream,
+  kObject,  // any
+};
+
+struct TypeRef {
+  TypeName name = TypeName::kObject;
+  bool is_bag = false;  // "bag of sp a"
+
+  std::string to_string() const;
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kLiteral,  // 42, 3.5, 'bg'
+  kVar,      // a
+  kCall,     // sp(...), count(...), iota(1, n)
+  kBagCtor,  // {a, b}
+  kSelect,   // select ... from ... where ...
+  kBinary,   // e1 + e2, e1 < e2
+  kNeg,      // -e
+};
+
+enum class BinOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kAdd, kSub, kMul, kDiv };
+
+const char* binop_name(BinOp op);
+
+/// A from-clause variable declaration: `sp a`, `bag of sp b`, `integer n`.
+struct Decl {
+  TypeRef type;
+  std::string name;
+  SourcePos pos;
+};
+
+enum class PredKind : std::uint8_t {
+  kCompare,  // lhs op rhs; with op '=' and a declared variable on one
+             // side this is a binding equation (classified by the binder)
+  kIn,       // var in collection
+};
+
+struct Predicate {
+  PredKind kind = PredKind::kCompare;
+  BinOp op = BinOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  SourcePos pos;
+};
+
+struct Select {
+  std::vector<ExprPtr> exprs;  // select list (usually one expression)
+  std::vector<Decl> decls;
+  std::vector<Predicate> predicates;
+  SourcePos pos;
+};
+using SelectPtr = std::shared_ptr<const Select>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  SourcePos pos;
+
+  catalog::Object literal;      // kLiteral
+  std::string name;             // kVar: variable; kCall: function name
+  std::vector<ExprPtr> args;    // kCall args, kBagCtor elements,
+                                // kBinary {lhs, rhs}, kNeg {operand}
+  SelectPtr select;             // kSelect
+  BinOp op = BinOp::kEq;        // kBinary
+
+  std::string to_string() const;
+};
+
+/// `create function name(params) -> type as <query>`.
+struct FunctionDef {
+  std::string name;
+  std::vector<Decl> params;
+  TypeRef return_type;
+  ExprPtr body;
+  SourcePos pos;
+};
+
+/// One parsed statement: exactly one of `query` / `function` is set.
+struct Statement {
+  ExprPtr query;
+  std::shared_ptr<const FunctionDef> function;
+};
+
+// --- construction helpers (used by parser and tests) ---
+
+ExprPtr make_literal(catalog::Object value, SourcePos pos = {});
+ExprPtr make_var(std::string name, SourcePos pos = {});
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args, SourcePos pos = {});
+ExprPtr make_bag(std::vector<ExprPtr> elems, SourcePos pos = {});
+ExprPtr make_select(SelectPtr select, SourcePos pos = {});
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourcePos pos = {});
+ExprPtr make_neg(ExprPtr operand, SourcePos pos = {});
+
+/// Renders a Select back to SCSQL text (used by the pretty-printer
+/// round-trip tests and for logging shipped subqueries).
+std::string select_to_string(const Select& sel);
+
+}  // namespace scsq::scsql

@@ -1,0 +1,36 @@
+// User-visible SCSQL errors (lexing, parsing, binding, execution).
+//
+// These are the one category of failure that throws rather than
+// SCSQ_CHECKs: queries come from users, so malformed input must surface
+// as a catchable error with a source position.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scsq::scsql {
+
+struct SourcePos {
+  int line = 1;  // 1-based
+  int column = 1;
+
+  std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+class Error : public std::runtime_error {
+ public:
+  Error(std::string message, SourcePos pos)
+      : std::runtime_error(pos.to_string() + ": " + message), pos_(pos) {}
+
+  explicit Error(std::string message)
+      : std::runtime_error(std::move(message)), pos_{0, 0} {}
+
+  const SourcePos& pos() const { return pos_; }
+
+ private:
+  SourcePos pos_;
+};
+
+}  // namespace scsq::scsql

@@ -1,0 +1,37 @@
+// SCSQL lexer: turns query text into a token stream.
+//
+// Keywords are case-insensitive (the paper mixes "Select" and "select").
+// Strings accept both single quotes ('bg') and double quotes ("pattern"),
+// matching the paper's listings. Comments: -- to end of line.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scsql/token.hpp"
+
+namespace scsq::scsql {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Lexes the whole input; the last token is always kEnd.
+  /// Throws scsql::Error on bad characters or unterminated strings.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool at_end() const { return offset_ >= source_.size(); }
+  void skip_space_and_comments();
+  SourcePos pos() const { return SourcePos{line_, column_}; }
+
+  std::string_view source_;
+  std::size_t offset_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace scsq::scsql

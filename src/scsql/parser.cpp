@@ -1,0 +1,288 @@
+#include "scsql/parser.hpp"
+
+#include <optional>
+
+#include "scsql/lexer.hpp"
+
+namespace scsq::scsql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) {
+    Lexer lexer(source);
+    tokens_ = lexer.lex_all();
+  }
+
+  std::vector<Statement> script() {
+    std::vector<Statement> out;
+    while (!check(Tok::kEnd)) {
+      out.push_back(statement());
+    }
+    return out;
+  }
+
+  Statement one_statement() {
+    Statement s = statement();
+    expect(Tok::kEnd, "expected end of input after statement");
+    return s;
+  }
+
+  ExprPtr one_expression() {
+    ExprPtr e = expr();
+    expect(Tok::kEnd, "expected end of input after expression");
+    return e;
+  }
+
+ private:
+  // --- token helpers ---
+
+  const Token& peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool check(Tok kind) const { return peek().kind == kind; }
+
+  bool match(Tok kind) {
+    if (!check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Token expect(Tok kind, const std::string& what) {
+    if (!check(kind)) {
+      throw Error(what + " (found " + tok_name(peek().kind) + ")", peek().pos);
+    }
+    return tokens_[pos_++];
+  }
+
+  [[noreturn]] void fail(const std::string& message) { throw Error(message, peek().pos); }
+
+  // --- grammar ---
+
+  Statement statement() {
+    Statement s;
+    if (check(Tok::kCreate)) {
+      s.function = create_function();
+    } else {
+      s.query = expr();
+    }
+    expect(Tok::kSemicolon, "expected ';' after statement");
+    return s;
+  }
+
+  std::shared_ptr<const FunctionDef> create_function() {
+    auto fn = std::make_shared<FunctionDef>();
+    fn->pos = peek().pos;
+    expect(Tok::kCreate, "expected 'create'");
+    expect(Tok::kFunction, "expected 'function'");
+    fn->name = expect(Tok::kIdent, "expected function name").text;
+    expect(Tok::kLParen, "expected '(' after function name");
+    if (!check(Tok::kRParen)) {
+      do {
+        Decl d;
+        d.pos = peek().pos;
+        d.type = type_ref();
+        d.name = expect(Tok::kIdent, "expected parameter name").text;
+        fn->params.push_back(std::move(d));
+      } while (match(Tok::kComma));
+    }
+    expect(Tok::kRParen, "expected ')' after parameters");
+    expect(Tok::kArrow, "expected '->' before return type");
+    fn->return_type = type_ref();
+    expect(Tok::kAs, "expected 'as' before function body");
+    fn->body = expr();
+    return fn;
+  }
+
+  TypeRef type_ref() {
+    TypeRef t;
+    if (match(Tok::kBag)) {
+      expect(Tok::kOf, "expected 'of' after 'bag'");
+      t.is_bag = true;
+    }
+    Token name = expect(Tok::kIdent, "expected type name");
+    if (name.text == "integer" || name.text == "int") {
+      t.name = TypeName::kInteger;
+    } else if (name.text == "real" || name.text == "double") {
+      t.name = TypeName::kReal;
+    } else if (name.text == "string" || name.text == "charstring") {
+      t.name = TypeName::kString;
+    } else if (name.text == "boolean") {
+      t.name = TypeName::kBoolean;
+    } else if (name.text == "sp") {
+      t.name = TypeName::kSp;
+    } else if (name.text == "stream") {
+      t.name = TypeName::kStream;
+    } else if (name.text == "object") {
+      t.name = TypeName::kObject;
+    } else {
+      throw Error("unknown type '" + name.text + "'", name.pos);
+    }
+    return t;
+  }
+
+  static std::optional<BinOp> comparison_op(Tok kind) {
+    switch (kind) {
+      case Tok::kEq: return BinOp::kEq;
+      case Tok::kNe: return BinOp::kNe;
+      case Tok::kLt: return BinOp::kLt;
+      case Tok::kLe: return BinOp::kLe;
+      case Tok::kGt: return BinOp::kGt;
+      case Tok::kGe: return BinOp::kGe;
+      default: return std::nullopt;
+    }
+  }
+
+  ExprPtr expr() {
+    ExprPtr lhs = additive();
+    if (auto op = comparison_op(peek().kind)) {
+      SourcePos pos = peek().pos;
+      ++pos_;
+      ExprPtr rhs = additive();
+      return make_binary(*op, std::move(lhs), std::move(rhs), pos);
+    }
+    return lhs;
+  }
+
+  ExprPtr additive() {
+    ExprPtr lhs = multiplicative();
+    while (check(Tok::kPlus) || check(Tok::kMinus)) {
+      BinOp op = check(Tok::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      SourcePos pos = peek().pos;
+      ++pos_;
+      lhs = make_binary(op, std::move(lhs), multiplicative(), pos);
+    }
+    return lhs;
+  }
+
+  ExprPtr multiplicative() {
+    ExprPtr lhs = unary();
+    while (check(Tok::kStar) || check(Tok::kSlash)) {
+      BinOp op = check(Tok::kStar) ? BinOp::kMul : BinOp::kDiv;
+      SourcePos pos = peek().pos;
+      ++pos_;
+      lhs = make_binary(op, std::move(lhs), unary(), pos);
+    }
+    return lhs;
+  }
+
+  ExprPtr unary() {
+    if (check(Tok::kMinus)) {
+      SourcePos pos = peek().pos;
+      ++pos_;
+      return make_neg(unary(), pos);
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::kInt:
+        ++pos_;
+        return make_literal(catalog::Object{t.int_val}, t.pos);
+      case Tok::kReal:
+        ++pos_;
+        return make_literal(catalog::Object{t.real_val}, t.pos);
+      case Tok::kString:
+        ++pos_;
+        return make_literal(catalog::Object{t.text}, t.pos);
+      case Tok::kIdent: {
+        ++pos_;
+        if (match(Tok::kLParen)) {
+          std::vector<ExprPtr> args;
+          if (!check(Tok::kRParen)) {
+            do {
+              args.push_back(expr());
+            } while (match(Tok::kComma));
+          }
+          expect(Tok::kRParen, "expected ')' after arguments");
+          return make_call(t.text, std::move(args), t.pos);
+        }
+        return make_var(t.text, t.pos);
+      }
+      case Tok::kLBrace: {
+        ++pos_;
+        std::vector<ExprPtr> elems;
+        if (!check(Tok::kRBrace)) {
+          do {
+            elems.push_back(expr());
+          } while (match(Tok::kComma));
+        }
+        expect(Tok::kRBrace, "expected '}' after bag elements");
+        return make_bag(std::move(elems), t.pos);
+      }
+      case Tok::kLParen: {
+        ++pos_;
+        ExprPtr e = expr();
+        expect(Tok::kRParen, "expected ')'");
+        return e;
+      }
+      case Tok::kSelect:
+        return select_expr();
+      default:
+        fail(std::string("expected expression, found ") + tok_name(t.kind));
+    }
+  }
+
+  ExprPtr select_expr() {
+    SourcePos pos = peek().pos;
+    auto sel = std::make_shared<Select>();
+    sel->pos = pos;
+    expect(Tok::kSelect, "expected 'select'");
+    do {
+      sel->exprs.push_back(expr());
+    } while (match(Tok::kComma));
+    if (match(Tok::kFrom)) {
+      do {
+        Decl d;
+        d.pos = peek().pos;
+        d.type = type_ref();
+        d.name = expect(Tok::kIdent, "expected variable name in from clause").text;
+        sel->decls.push_back(std::move(d));
+      } while (match(Tok::kComma));
+    }
+    if (match(Tok::kWhere)) {
+      do {
+        sel->predicates.push_back(predicate());
+      } while (match(Tok::kAnd));
+    }
+    return make_select(std::move(sel), pos);
+  }
+
+  Predicate predicate() {
+    Predicate p;
+    p.pos = peek().pos;
+    p.lhs = additive();  // no comparison inside the lhs itself
+    if (match(Tok::kIn)) {
+      p.kind = PredKind::kIn;
+      p.rhs = expr();
+      return p;
+    }
+    if (auto op = comparison_op(peek().kind)) {
+      ++pos_;
+      p.kind = PredKind::kCompare;
+      p.op = *op;
+      p.rhs = expr();
+      return p;
+    }
+    fail("expected '=', comparison or 'in' in predicate");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Statement> parse_script(std::string_view source) {
+  return Parser(source).script();
+}
+
+Statement parse_statement(std::string_view source) { return Parser(source).one_statement(); }
+
+ExprPtr parse_expression(std::string_view source) { return Parser(source).one_expression(); }
+
+}  // namespace scsq::scsql

@@ -1,0 +1,46 @@
+// SCSQL recursive-descent parser.
+//
+// Grammar (the subset the paper uses, plus arithmetic):
+//
+//   script      := statement*
+//   statement   := (create_fn | expr) ';'
+//   create_fn   := 'create' 'function' IDENT '(' params? ')' '->' type
+//                  'as' expr
+//   params      := type IDENT (',' type IDENT)*
+//   type        := ('bag' 'of')? base_type
+//   base_type   := 'integer'|'real'|'string'|'boolean'|'sp'|'stream'|'object'
+//   expr        := additive (cmp_op additive)?
+//   additive    := multiplicative (('+'|'-') multiplicative)*
+//   multiplicative := unary (('*'|'/') unary)*
+//   unary       := '-' unary | primary
+//   primary     := literal | IDENT ('(' args? ')')? | '{' args '}'
+//                | '(' expr ')' | select
+//   select      := 'select' expr (',' expr)*
+//                  ('from' decl (',' decl)*)? ('where' predicate
+//                  ('and' predicate)*)?
+//   predicate   := expr (('='|'!='|'<'|'<='|'>'|'>=') expr | 'in' expr)?
+//
+// A select may appear anywhere a primary may (the paper passes bare
+// selects as spv() arguments).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scsql/ast.hpp"
+#include "scsql/token.hpp"
+
+namespace scsq::scsql {
+
+/// Parses a whole script (one or more ';'-terminated statements).
+/// Throws scsql::Error with a source position on syntax errors.
+std::vector<Statement> parse_script(std::string_view source);
+
+/// Parses exactly one statement; errors if trailing input remains.
+Statement parse_statement(std::string_view source);
+
+/// Parses a single expression (no trailing ';'). For tests and
+/// programmatic query construction.
+ExprPtr parse_expression(std::string_view source);
+
+}  // namespace scsq::scsql

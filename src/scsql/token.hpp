@@ -1,0 +1,59 @@
+// SCSQL token model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scsql/error.hpp"
+
+namespace scsq::scsql {
+
+enum class Tok : std::uint8_t {
+  kEnd,
+  kIdent,     // identifiers and non-reserved names
+  kInt,       // integer literal
+  kReal,      // real literal
+  kString,    // 'str' or "str"
+  // Keywords (case-insensitive in source).
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kIn,
+  kCreate,
+  kFunction,
+  kAs,
+  kBag,
+  kOf,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kArrow,  // ->
+};
+
+/// Token name for diagnostics ("'select'", "identifier", ...).
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;        // identifier/string content
+  std::int64_t int_val = 0;
+  double real_val = 0.0;
+  SourcePos pos;
+};
+
+}  // namespace scsq::scsql

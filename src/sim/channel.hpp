@@ -1,0 +1,85 @@
+// Bounded single-threaded channel between simulated processes.
+//
+// Channels model SCSQ's inter-RP flow control: the paper's running
+// processes "regularly exchange control messages, which are used to
+// regulate the stream flow between them" — here, a bounded buffer whose
+// full condition suspends the sender is the equivalent backpressure
+// mechanism.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace scsq::sim {
+
+template <class T>
+class Channel {
+ public:
+  /// Capacity must be >= 1 (a zero-capacity rendezvous is not supported).
+  Channel(Simulator& sim, std::size_t capacity)
+      : capacity_(capacity), senders_(sim), receivers_(sim) {
+    SCSQ_CHECK(capacity_ >= 1) << "channel capacity must be >= 1";
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Sends a value, suspending while the buffer is full. Sending on a
+  /// closed channel silently discards the value ("receiver gone" —
+  /// query-stop teardown drops in-flight stream data this way).
+  Task<void> send(T value) {
+    while (buffer_.size() >= capacity_ && !closed_) co_await senders_.wait();
+    if (closed_) co_return;  // discard: the consumer has gone away
+    buffer_.push_back(std::move(value));
+    receivers_.notify_one();
+    co_return;
+  }
+
+  /// Attempts to send without suspending. Returns false when full;
+  /// discards (returning true) when closed.
+  bool try_send(T value) {
+    if (closed_) return true;
+    if (buffer_.size() >= capacity_) return false;
+    buffer_.push_back(std::move(value));
+    receivers_.notify_one();
+    return true;
+  }
+
+  /// Receives the next value; nullopt once the channel is closed and
+  /// drained (remaining buffered values are still delivered after close).
+  Task<std::optional<T>> recv() {
+    while (buffer_.empty()) {
+      if (closed_) co_return std::nullopt;
+      co_await receivers_.wait();
+    }
+    T value = std::move(buffer_.front());
+    buffer_.pop_front();
+    senders_.notify_one();
+    co_return std::optional<T>(std::move(value));
+  }
+
+  /// Closes the channel: future recv() calls drain the buffer then yield
+  /// nullopt; blocked senders/receivers are woken. Idempotent.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    receivers_.notify_all();
+    senders_.notify_all();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> buffer_;
+  WaitQueue senders_;
+  WaitQueue receivers_;
+};
+
+}  // namespace scsq::sim

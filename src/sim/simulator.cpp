@@ -1,0 +1,80 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace scsq::sim {
+
+Simulator::Simulator() {
+  util::set_log_time_source([this] { return now_; });
+}
+
+Simulator::~Simulator() {
+  util::set_log_time_source(nullptr);
+  // Destroy surviving root coroutines (e.g. when a run was truncated by a
+  // time limit). Frames own their locals via RAII, so destroying the
+  // handles releases everything they hold.
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Simulator::spawn(Task<void> task) {
+  SCSQ_CHECK(task.valid()) << "spawn of empty task";
+  auto handle = task.release();
+  roots_.push_back(handle);
+  schedule_now(handle);
+}
+
+void Simulator::schedule_at(Time at, std::coroutine_handle<> h) {
+  SCSQ_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
+  queue_.push(Event{at, next_seq_++, h, nullptr});
+}
+
+void Simulator::call_at(Time at, std::function<void()> fn) {
+  SCSQ_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
+  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+}
+
+Time Simulator::run(Time until) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (ev.at > until) break;
+    queue_.pop();
+    now_ = ev.at;
+    ++events_dispatched_;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else if (ev.callback) {
+      ev.callback();
+    }
+    // Cheap periodic sweep so long simulations do not accumulate frames
+    // of completed root processes.
+    if ((events_dispatched_ & 0x3FF) == 0) sweep_finished_roots();
+  }
+  sweep_finished_roots();
+  return now_;
+}
+
+std::size_t Simulator::live_root_tasks() const {
+  std::size_t live = 0;
+  for (auto h : roots_) {
+    if (h && !h.done()) ++live;
+  }
+  return live;
+}
+
+void Simulator::sweep_finished_roots() {
+  auto it = std::remove_if(roots_.begin(), roots_.end(), [](auto h) {
+    if (h && h.done()) {
+      // Surface exceptions escaping root processes: they indicate bugs in
+      // the simulation harness, never expected user errors.
+      if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      h.destroy();
+      return true;
+    }
+    return false;
+  });
+  roots_.erase(it, roots_.end());
+}
+
+}  // namespace scsq::sim

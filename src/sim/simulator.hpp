@@ -1,0 +1,168 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator owns a priority queue of timestamped events (coroutine
+// resumptions or plain callbacks) and drives spawned root tasks until no
+// events remain. All SCSQ "hardware" (networks, CPUs, co-processors) is
+// modeled on top of this kernel; simulated time stands in for the
+// wall-clock measurements of the paper.
+//
+// Threading model: strictly single-threaded, run-to-completion. A resumed
+// coroutine runs until its next suspension; wake-ups always go through
+// schedule_* so there are no re-entrant resumptions.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/logging.hpp"
+
+namespace scsq::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (seconds since simulation start).
+  Time now() const { return now_; }
+
+  /// Starts a root process. The task begins executing at the current time
+  /// (it is scheduled, not run inline). The simulator keeps the coroutine
+  /// alive until it completes.
+  void spawn(Task<void> task);
+
+  /// Schedules `h` to resume at absolute time `at` (>= now()).
+  void schedule_at(Time at, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume at the current time, after already-queued
+  /// same-time events (FIFO within a timestamp).
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Schedules a plain callback at absolute time `at`.
+  void call_at(Time at, std::function<void()> fn);
+
+  /// Awaitable: suspends the awaiting coroutine for `dt` seconds
+  /// (dt <= 0 completes immediately without suspension).
+  auto delay(Time dt) {
+    struct Awaiter {
+      Simulator* sim;
+      Time dt;
+      bool await_ready() const { return dt <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) { sim->schedule_at(sim->now_ + dt, h); }
+      void await_resume() const {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Runs until the event queue is empty or `until` is exceeded.
+  /// Returns the final simulated time.
+  Time run(Time until = kNoLimit);
+
+  /// Number of root tasks spawned that have not yet completed. After
+  /// run() returns with an empty queue, a nonzero value means deadlock
+  /// (processes waiting on channels/resources that will never signal).
+  std::size_t live_root_tasks() const;
+
+  /// Total events dispatched so far (diagnostics / tests).
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+  static constexpr Time kNoLimit = 1e300;
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO within equal timestamps
+    std::coroutine_handle<> handle;
+    std::function<void()> callback;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void sweep_finished_roots();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
+};
+
+/// One-shot broadcast event (like a latch): wait() suspends until set()
+/// is called; set() wakes all current and future waiters.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(&sim) {}
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Condition-variable-like wait queue used to build channels.
+/// wait() suspends until notify_one()/notify_all(); waiters must re-check
+/// their condition after resuming (standard cv loop discipline).
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator& sim) : sim_(&sim) {}
+
+  auto wait() {
+    struct Awaiter {
+      WaitQueue* wq;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) { wq->waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    sim_->schedule_now(waiters_.front());
+    waiters_.erase(waiters_.begin());
+  }
+
+  void notify_all() {
+    for (auto h : waiters_) sim_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace scsq::sim

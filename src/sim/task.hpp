@@ -1,0 +1,168 @@
+// Coroutine task type for simulated processes.
+//
+// A sim::Task<T> is a lazily-started coroutine. It can be:
+//  * co_await-ed from another task (nested call; the child runs to its
+//    first suspension inside the parent's resume, and resumes the parent
+//    on completion via symmetric transfer), or
+//  * handed to Simulator::spawn() as a root process (Task<void> only).
+//
+// Tasks are single-threaded: the whole simulation is cooperative and all
+// coroutines are driven by the Simulator's event loop.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace scsq::sim {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed at final suspend, if set
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <class Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <class T = void>
+class [[nodiscard]] Task;
+
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <class U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it; the awaiting coroutine resumes when the
+  /// task completes, receiving its value (or rethrowing its exception).
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        handle.promise().continuation = parent;
+        return handle;  // symmetric transfer: start the child now
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        SCSQ_CHECK(p.value.has_value()) << "task finished without a value";
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      void await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace scsq::sim

@@ -1,0 +1,65 @@
+#include "sim/trace.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "util/logging.hpp"
+
+namespace scsq::sim {
+
+void Trace::interval(std::string track, std::string name, Time start, Time end) {
+  SCSQ_CHECK(end >= start) << "negative trace interval";
+  events_.push_back(Event{std::move(track), std::move(name), start, end - start, true});
+}
+
+void Trace::instant(std::string track, std::string name, Time at) {
+  events_.push_back(Event{std::move(track), std::move(name), at, 0.0, false});
+}
+
+double Trace::track_busy_seconds(const std::string& track) const {
+  double total = 0;
+  for (const auto& e : events_) {
+    if (e.is_interval && e.track == track) total += e.duration;
+  }
+  return total;
+}
+
+namespace {
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+void Trace::write_json(std::ostream& os) const {
+  // Stable tid per track, in first-appearance order.
+  std::map<std::string, int> tids;
+  for (const auto& e : events_) {
+    tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << R"({"ph":"M","pid":1,"tid":)" << tid
+       << R"(,"name":"thread_name","args":{"name":")";
+    write_escaped(os, track);
+    os << "\"}}";
+  }
+  for (const auto& e : events_) {
+    os << ",";
+    os << "{\"ph\":\"" << (e.is_interval ? 'X' : 'i') << "\",\"pid\":1,\"tid\":"
+       << tids.at(e.track) << ",\"ts\":" << e.start * 1e6;
+    if (e.is_interval) os << ",\"dur\":" << e.duration * 1e6;
+    if (!e.is_interval) os << ",\"s\":\"t\"";
+    os << ",\"name\":\"";
+    write_escaped(os, e.name);
+    os << "\"}";
+  }
+  os << "]}";
+}
+
+}  // namespace scsq::sim

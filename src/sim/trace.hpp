@@ -1,0 +1,49 @@
+// Simulation tracing: records timestamped intervals/instants and exports
+// them in the Chrome tracing (catapult) JSON format, so a query run can
+// be inspected in chrome://tracing or Perfetto — which resource was busy
+// when, where a stream stalled, how placements collide.
+//
+// Resources integrate directly: Resource::set_trace() records one
+// "busy" interval per busy episode (a capacity-k resource is "busy"
+// while at least one slot is held; hand-offs extend the episode). The
+// execution engine adds instant events for stream-process lifecycle.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scsq::sim {
+
+using Time = double;
+
+class Trace {
+ public:
+  /// A completed interval on a named track.
+  void interval(std::string track, std::string name, Time start, Time end);
+
+  /// An instantaneous event on a named track.
+  void instant(std::string track, std::string name, Time at);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Sum of interval durations on one track (tests/diagnostics).
+  double track_busy_seconds(const std::string& track) const;
+
+  /// Writes Chrome tracing JSON ({"traceEvents": [...]}); timestamps in
+  /// microseconds, one tid per track.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    std::string track;
+    std::string name;
+    Time start = 0;
+    Time duration = 0;  // 0 for instants
+    bool is_interval = false;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace scsq::sim

@@ -1,0 +1,125 @@
+#include "transport/driver.hpp"
+
+namespace scsq::transport {
+
+void Link::start_transmit(Frame frame, std::function<void()> on_sender_free) {
+  sim_->spawn(run(std::move(frame), std::move(on_sender_free)));
+}
+
+sim::Task<void> Link::run(Frame frame, std::function<void()> on_sender_free) {
+  const bool eos = frame.eos;
+  co_await window_.acquire();
+  co_await transmit_one(std::move(frame), std::move(on_sender_free));
+  window_.release();
+  if (eos) {
+    stream_ended();
+    drained_.set();
+  }
+}
+
+SenderDriver::SenderDriver(sim::Simulator& sim, DriverParams params, sim::Resource& cpu,
+                           std::unique_ptr<Link> link, std::uint64_t producer_tag)
+    : sim_(&sim),
+      params_(params),
+      cpu_(&cpu),
+      link_(std::move(link)),
+      tag_(producer_tag),
+      cutter_(params.buffer_bytes),
+      slots_(sim, params.send_buffers, "sendbuf"),
+      outbox_(sim, 1) {
+  SCSQ_CHECK(link_ != nullptr) << "sender driver needs a link";
+  SCSQ_CHECK(params_.send_buffers >= 1) << "need at least one send buffer";
+  sim_->spawn(drain());
+}
+
+sim::Task<void> SenderDriver::push(catalog::Object obj) {
+  SCSQ_CHECK(!finishing_) << "push after finish";
+  // Entering active production invalidates any armed linger flush (the
+  // cut in the timer callback must never interleave with a push).
+  ++linger_generation_;
+  for (auto& frame : cutter_.push(std::move(obj))) {
+    co_await outbox_.send(std::move(frame));
+  }
+  arm_linger();
+}
+
+void SenderDriver::arm_linger() {
+  const std::uint64_t generation = ++linger_generation_;
+  if (params_.linger_s <= 0.0 || cutter_.pending_bytes() == 0) return;
+  sim_->call_at(sim_->now() + params_.linger_s, [this, generation] {
+    if (generation != linger_generation_ || finishing_) return;
+    if (cutter_.pending_bytes() == 0) return;
+    if (outbox_.size() > 0 || outbox_.closed()) {
+      // Downstream is backed up; retry after another linger period.
+      sim_->call_at(sim_->now() + params_.linger_s, [this, generation] {
+        if (generation == linger_generation_ && !finishing_) arm_linger_fire();
+      });
+      return;
+    }
+    arm_linger_fire();
+  });
+}
+
+void SenderDriver::arm_linger_fire() {
+  if (cutter_.pending_bytes() == 0 || outbox_.size() > 0 || outbox_.closed()) {
+    arm_linger();  // conditions changed: start over
+    return;
+  }
+  auto frame = cutter_.cut_partial();
+  SCSQ_CHECK(frame.has_value()) << "linger flush with no pending bytes";
+  ++linger_generation_;
+  // Capacity-1 outbox with size 0 and not closed: cannot fail.
+  SCSQ_CHECK(outbox_.try_send(std::move(*frame))) << "linger flush enqueue failed";
+}
+
+sim::Task<void> SenderDriver::finish() {
+  finishing_ = true;
+  ++linger_generation_;  // cancel pending flushes
+  co_await outbox_.send(cutter_.finish());
+  outbox_.close();
+  co_await link_->drained().wait();
+}
+
+sim::Task<void> SenderDriver::drain() {
+  while (auto frame = co_await outbox_.recv()) {
+    frame->producer = tag_;
+    // Wait for a free send buffer: with a single buffer this serializes
+    // marshal and transmit; with two, marshal of frame i+1 overlaps the
+    // transmission of frame i.
+    co_await slots_.acquire();
+    const double marshal_cost = static_cast<double>(frame->bytes) *
+                                params_.marshal_per_byte_s * params_.factor(frame->bytes);
+    co_await cpu_->use(marshal_cost);
+    link_->start_transmit(std::move(*frame), [this] { slots_.release(); });
+  }
+}
+
+ReceiverDriver::ReceiverDriver(sim::Simulator& sim, DriverParams params, sim::Resource& cpu)
+    : sim_(&sim),
+      params_(params),
+      cpu_(&cpu),
+      inbox_(sim, static_cast<std::size_t>(std::max(params.recv_buffers, 1))) {}
+
+sim::Task<std::optional<catalog::Object>> ReceiverDriver::next() {
+  while (ready_.empty()) {
+    if (eos_) co_return std::nullopt;
+    auto frame = co_await inbox_.recv();
+    if (!frame) {  // channel force-closed (teardown)
+      eos_ = true;
+      co_return std::nullopt;
+    }
+    bytes_ += frame->bytes;
+    const double cost =
+        static_cast<double>(frame->bytes) * params_.marshal_per_byte_s *
+            params_.factor(frame->bytes) +
+        static_cast<double>(frame->objects.size()) * params_.alloc_per_object_s;
+    co_await cpu_->use(cost);
+    for (auto& o : frame->objects) ready_.push_back(std::move(o));
+    if (frame->eos) eos_ = true;
+  }
+  auto obj = std::move(ready_.front());
+  ready_.pop_front();
+  co_return std::optional<catalog::Object>(std::move(obj));
+}
+
+}  // namespace scsq::transport

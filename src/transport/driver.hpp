@@ -1,0 +1,154 @@
+// Stream carrier drivers (paper Fig. 3).
+//
+// Every RP has a sender driver per subscriber and a receiver driver per
+// producer. The sender driver marshals result objects into fixed-size
+// send buffers and transmits full buffers over a Link (MPI inside the
+// BlueGene, TCP between clusters); with double buffering (the default,
+// as in the paper's MPI drivers) one buffer is marshaled while the
+// other is in flight. The receiver driver buffers incoming frames in a
+// bounded inbox (backpressure = flow-control messages) and materializes
+// objects for the SQEP operators, charging de-marshal and allocation
+// costs to the node's compute CPU.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "catalog/object.hpp"
+#include "sim/channel.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "transport/frame.hpp"
+
+namespace scsq::transport {
+
+struct DriverParams {
+  /// Size of one stream buffer — the x-axis of the paper's Fig. 6/8.
+  std::uint64_t buffer_bytes = 64 * 1024;
+  /// 1 = single buffering, 2 = double buffering (paper §2.3).
+  int send_buffers = 2;
+  /// Receiver inbox capacity in frames.
+  int recv_buffers = 2;
+  /// Marshal/de-marshal CPU cost per byte on this node.
+  double marshal_per_byte_s = 1.0e-9;
+  /// Cost to materialize one received object.
+  double alloc_per_object_s = 1.0e-6;
+  /// Buffer-size-dependent CPU cost factor (cache misses); null = 1.0.
+  std::function<double(std::uint64_t)> cache_factor;
+  /// Linger: a partially filled send buffer is flushed after this much
+  /// simulated idle time, so sparse streams (one aggregate per window)
+  /// are delivered promptly. 0 disables (flush only when full / at EOS).
+  double linger_s = 10e-3;
+
+  double factor(std::uint64_t bytes) const {
+    return cache_factor ? cache_factor(bytes) : 1.0;
+  }
+};
+
+/// A transport connection carrying frames from one producer RP to one
+/// consumer RP's inbox, in order. Implementations (MPI over the torus,
+/// TCP via I/O nodes, node-local) live in transport/links.hpp.
+///
+/// `window` bounds the frames in flight end-to-end (posted MPI receives
+/// / the TCP window): when the consumer stops draining, the pipeline
+/// stalls all the way back to the producer instead of queueing unbounded
+/// frames inside the network resources.
+class Link {
+ public:
+  explicit Link(sim::Simulator& sim, int window = kDefaultWindow)
+      : sim_(&sim), drained_(sim), window_(sim, window, "linkwin") {}
+
+  static constexpr int kDefaultWindow = 4;
+  virtual ~Link() = default;
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Starts transmitting a frame in the background. `on_sender_free` is
+  /// invoked when the send buffer becomes reusable. Frames are delivered
+  /// to the consumer inbox in start order.
+  void start_transmit(Frame frame, std::function<void()> on_sender_free);
+
+  /// Set once the EOS frame has been delivered (safe to tear down).
+  sim::Event& drained() { return drained_; }
+
+ protected:
+  virtual sim::Task<void> transmit_one(Frame frame,
+                                       std::function<void()> on_sender_free) = 0;
+  /// Called after the EOS frame is delivered; close flows etc.
+  virtual void stream_ended() {}
+
+  sim::Simulator& sim() { return *sim_; }
+
+ private:
+  sim::Task<void> run(Frame frame, std::function<void()> on_sender_free);
+
+  sim::Simulator* sim_;
+  sim::Event drained_;
+  sim::Resource window_;
+};
+
+class SenderDriver {
+ public:
+  /// `cpu` is the compute CPU marshal work is charged to; `producer_tag`
+  /// identifies the producing RP (network source tag).
+  SenderDriver(sim::Simulator& sim, DriverParams params, sim::Resource& cpu,
+               std::unique_ptr<Link> link, std::uint64_t producer_tag);
+
+  /// Appends one object to the stream; suspends for marshal cost and for
+  /// buffer availability (this is where single vs. double buffering
+  /// changes the timing).
+  sim::Task<void> push(catalog::Object obj);
+
+  /// Flushes the partial buffer, sends EOS, and waits until the link has
+  /// delivered everything (so the RP may be torn down afterwards).
+  sim::Task<void> finish();
+
+  std::uint64_t bytes_sent() const { return cutter_.total_emitted_bytes(); }
+
+ private:
+  /// Single drainer coroutine: emits frames in cut order (marshal on the
+  /// CPU, then hand to the link), serializing pushes and linger flushes.
+  sim::Task<void> drain();
+  void arm_linger();
+  void arm_linger_fire();
+
+  sim::Simulator* sim_;
+  DriverParams params_;
+  sim::Resource* cpu_;
+  std::unique_ptr<Link> link_;
+  std::uint64_t tag_;
+  FrameCutter cutter_;
+  sim::Resource slots_;  // send buffers: capacity 1 (single) or 2 (double)
+  sim::Channel<Frame> outbox_;
+  std::uint64_t linger_generation_ = 0;
+  bool finishing_ = false;
+};
+
+class ReceiverDriver {
+ public:
+  ReceiverDriver(sim::Simulator& sim, DriverParams params, sim::Resource& cpu);
+
+  /// The inbox a Link delivers into.
+  sim::Channel<Frame>& inbox() { return inbox_; }
+
+  /// Next materialized object, or nullopt at end of stream. Charges
+  /// de-marshal + allocation cost per received frame.
+  sim::Task<std::optional<catalog::Object>> next();
+
+  bool eos_seen() const { return eos_; }
+  std::uint64_t bytes_received() const { return bytes_; }
+
+ private:
+  sim::Simulator* sim_;
+  DriverParams params_;
+  sim::Resource* cpu_;
+  sim::Channel<Frame> inbox_;
+  std::deque<catalog::Object> ready_;
+  bool eos_ = false;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace scsq::transport

@@ -1,0 +1,43 @@
+#include "transport/frame.hpp"
+
+namespace scsq::transport {
+
+std::vector<Frame> FrameCutter::push(catalog::Object obj) {
+  SCSQ_CHECK(!finished_) << "push after finish";
+  pushed_bytes_ += obj.marshaled_size();
+  pending_.emplace_back(std::move(obj), pushed_bytes_);
+  std::vector<Frame> out;
+  while (pushed_bytes_ - emitted_bytes_ >= buffer_bytes_) {
+    out.push_back(cut(buffer_bytes_));
+  }
+  return out;
+}
+
+std::optional<Frame> FrameCutter::cut_partial() {
+  SCSQ_CHECK(!finished_) << "cut_partial after finish";
+  if (pending_bytes() == 0) return std::nullopt;
+  return cut(pending_bytes());
+}
+
+Frame FrameCutter::finish() {
+  SCSQ_CHECK(!finished_) << "double finish";
+  finished_ = true;
+  Frame f = cut(pushed_bytes_ - emitted_bytes_);
+  f.eos = true;
+  SCSQ_CHECK(pending_.empty()) << "objects left behind at stream end";
+  return f;
+}
+
+Frame FrameCutter::cut(std::uint64_t frame_bytes) {
+  Frame f;
+  f.bytes = frame_bytes;
+  f.seq = next_seq_++;
+  emitted_bytes_ += frame_bytes;
+  while (!pending_.empty() && pending_.front().second <= emitted_bytes_) {
+    f.objects.push_back(std::move(pending_.front().first));
+    pending_.pop_front();
+  }
+  return f;
+}
+
+}  // namespace scsq::transport

@@ -1,0 +1,69 @@
+// Stream framing: cutting a continuous marshaled object stream into
+// fixed-size send buffers.
+//
+// The paper's RP "marshals [objects] into a send buffer and transmits
+// the send buffers when they are full" (§3.1) — objects larger than the
+// buffer (a 3 MB array over 1000-byte buffers!) span many frames, and a
+// frame may complete several small objects. FrameCutter tracks the byte
+// offsets: each emitted Frame carries exactly `buffer_bytes` of stream
+// payload plus the objects whose final byte falls inside it (those are
+// the objects the receiver can materialize after this frame arrives).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "catalog/object.hpp"
+
+namespace scsq::transport {
+
+struct Frame {
+  std::uint64_t bytes = 0;  // marshaled payload bytes carried by this buffer
+  std::vector<catalog::Object> objects;  // objects completed by this frame
+  bool eos = false;         // final frame of the stream
+  std::uint64_t producer = 0;  // source RP id (network source tag)
+  std::uint64_t seq = 0;       // frame sequence number within the stream
+};
+
+class FrameCutter {
+ public:
+  explicit FrameCutter(std::uint64_t buffer_bytes) : buffer_bytes_(buffer_bytes) {
+    SCSQ_CHECK(buffer_bytes_ >= 1) << "buffer size must be >= 1 byte";
+  }
+
+  /// Adds an object to the stream; returns the frames that became full.
+  std::vector<Frame> push(catalog::Object obj);
+
+  /// Cuts the currently pending partial buffer into a frame (non-EOS).
+  /// Returns nullopt when nothing is pending. Used by the sender
+  /// driver's linger flush so sparse result streams (e.g. one count per
+  /// window) are delivered promptly instead of waiting for a full
+  /// buffer.
+  std::optional<Frame> cut_partial();
+
+  /// Ends the stream: returns the final frame (partial buffer or empty)
+  /// with eos set. Must be called exactly once, after the last push().
+  Frame finish();
+
+  /// Bytes pushed but not yet cut into frames.
+  std::uint64_t pending_bytes() const { return pushed_bytes_ - emitted_bytes_; }
+
+  std::uint64_t total_pushed_bytes() const { return pushed_bytes_; }
+  std::uint64_t total_emitted_bytes() const { return emitted_bytes_; }
+
+ private:
+  Frame cut(std::uint64_t frame_bytes);
+
+  std::uint64_t buffer_bytes_;
+  std::uint64_t pushed_bytes_ = 0;   // total marshaled bytes pushed
+  std::uint64_t emitted_bytes_ = 0;  // total bytes already cut into frames
+  std::uint64_t next_seq_ = 0;
+  bool finished_ = false;
+  // Objects whose final byte has not yet been emitted, with the stream
+  // offset just past their encoding.
+  std::deque<std::pair<catalog::Object, std::uint64_t>> pending_;
+};
+
+}  // namespace scsq::transport

@@ -1,0 +1,184 @@
+#include "transport/links.hpp"
+
+namespace scsq::transport {
+
+// ---------------------------------------------------------------------
+// MpiLink
+// ---------------------------------------------------------------------
+
+MpiLink::MpiLink(hw::Machine& machine, int src_rank, int dst_rank,
+                 sim::Channel<Frame>& inbox, std::uint64_t source_tag)
+    : Link(machine.sim()),
+      machine_(&machine),
+      src_(src_rank),
+      dst_(dst_rank),
+      inbox_(&inbox),
+      tag_(source_tag) {
+  machine_->bg().torus().register_inbound_stream(dst_);
+  registered_ = true;
+}
+
+MpiLink::~MpiLink() { unregister(); }
+
+void MpiLink::stream_ended() { unregister(); }
+
+void MpiLink::unregister() {
+  if (!registered_) return;
+  registered_ = false;
+  machine_->bg().torus().unregister_inbound_stream(dst_);
+}
+
+sim::Task<void> MpiLink::transmit_one(Frame frame, std::function<void()> on_sender_free) {
+  sim::Event freed(sim());
+  sim::Event delivered(sim());
+  machine_->bg().torus().transmit_async(src_, dst_, frame.bytes, tag_, &freed, &delivered);
+  co_await freed.wait();
+  if (on_sender_free) on_sender_free();
+  co_await delivered.wait();
+  co_await inbox_->send(std::move(frame));
+}
+
+// ---------------------------------------------------------------------
+// TcpToBgLink
+// ---------------------------------------------------------------------
+
+TcpToBgLink::TcpToBgLink(hw::Machine& machine, const hw::Location& src, int dst_rank,
+                         sim::Channel<Frame>& inbox)
+    : Link(machine.sim()),
+      machine_(&machine),
+      dst_rank_(dst_rank),
+      pset_(machine.bg().pset_of(dst_rank)),
+      inbox_(&inbox) {
+  const int src_host = machine.fabric_host_of(src);
+  const int io_host = machine.bg().io_fabric_host(pset_);
+  flow_ = machine.fabric().open_flow(src_host, io_host);
+  flow_open_ = true;
+  machine.register_bg_inbound(dst_rank_);
+}
+
+TcpToBgLink::~TcpToBgLink() { close_flow(); }
+
+void TcpToBgLink::stream_ended() { close_flow(); }
+
+void TcpToBgLink::close_flow() {
+  if (!flow_open_) return;
+  flow_open_ = false;
+  machine_->fabric().close_flow(flow_);
+  machine_->unregister_bg_inbound(dst_rank_);
+}
+
+sim::Task<void> TcpToBgLink::transmit_one(Frame frame,
+                                          std::function<void()> on_sender_free) {
+  co_await machine_->fabric().transfer(flow_, frame.bytes);
+  if (on_sender_free) on_sender_free();
+  // Coordination factors are sampled per message so concurrently
+  // opening/closing streams are reflected (Fig. 15 mechanisms).
+  co_await machine_->bg().tree().forward_inbound(pset_, dst_rank_, frame.bytes,
+                                                 machine_->io_coordination_factor(),
+                                                 machine_->compute_mux_factor(dst_rank_));
+  co_await inbox_->send(std::move(frame));
+}
+
+// ---------------------------------------------------------------------
+// TcpFromBgLink
+// ---------------------------------------------------------------------
+
+TcpFromBgLink::TcpFromBgLink(hw::Machine& machine, int src_rank, const hw::Location& dst,
+                             sim::Channel<Frame>& inbox)
+    : Link(machine.sim()),
+      machine_(&machine),
+      src_rank_(src_rank),
+      pset_(machine.bg().pset_of(src_rank)),
+      inbox_(&inbox) {
+  const int io_host = machine.bg().io_fabric_host(pset_);
+  const int dst_host = machine.fabric_host_of(dst);
+  flow_ = machine.fabric().open_flow(io_host, dst_host);
+  flow_open_ = true;
+}
+
+TcpFromBgLink::~TcpFromBgLink() { close_flow(); }
+
+void TcpFromBgLink::stream_ended() { close_flow(); }
+
+void TcpFromBgLink::close_flow() {
+  if (!flow_open_) return;
+  flow_open_ = false;
+  machine_->fabric().close_flow(flow_);
+}
+
+sim::Task<void> TcpFromBgLink::transmit_one(Frame frame,
+                                            std::function<void()> on_sender_free) {
+  co_await machine_->bg().tree().forward_outbound(pset_, src_rank_, frame.bytes,
+                                                  /*io_factor=*/1.0);
+  if (on_sender_free) on_sender_free();
+  co_await machine_->fabric().transfer(flow_, frame.bytes);
+  co_await inbox_->send(std::move(frame));
+}
+
+// ---------------------------------------------------------------------
+// TcpPlainLink
+// ---------------------------------------------------------------------
+
+TcpPlainLink::TcpPlainLink(hw::Machine& machine, const hw::Location& src,
+                           const hw::Location& dst, sim::Channel<Frame>& inbox)
+    : Link(machine.sim()), machine_(&machine), inbox_(&inbox) {
+  flow_ = machine.fabric().open_flow(machine.fabric_host_of(src),
+                                     machine.fabric_host_of(dst));
+  flow_open_ = true;
+}
+
+TcpPlainLink::~TcpPlainLink() { close_flow(); }
+
+void TcpPlainLink::stream_ended() { close_flow(); }
+
+void TcpPlainLink::close_flow() {
+  if (!flow_open_) return;
+  flow_open_ = false;
+  machine_->fabric().close_flow(flow_);
+}
+
+sim::Task<void> TcpPlainLink::transmit_one(Frame frame,
+                                           std::function<void()> on_sender_free) {
+  co_await machine_->fabric().transfer(flow_, frame.bytes);
+  if (on_sender_free) on_sender_free();
+  co_await inbox_->send(std::move(frame));
+}
+
+// ---------------------------------------------------------------------
+// LocalLink
+// ---------------------------------------------------------------------
+
+namespace {
+// In-memory hand-off between RPs on the same node: a fixed small latency
+// standing in for a pipe/shared-buffer copy.
+constexpr double kLocalHandoffSeconds = 2.0e-6;
+}  // namespace
+
+LocalLink::LocalLink(hw::Machine& machine, sim::Channel<Frame>& inbox)
+    : Link(machine.sim()), inbox_(&inbox) {}
+
+sim::Task<void> LocalLink::transmit_one(Frame frame, std::function<void()> on_sender_free) {
+  co_await sim().delay(kLocalHandoffSeconds);
+  if (on_sender_free) on_sender_free();
+  co_await inbox_->send(std::move(frame));
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Link> make_link(hw::Machine& machine, const hw::Location& src,
+                                const hw::Location& dst, sim::Channel<Frame>& inbox,
+                                std::uint64_t source_tag) {
+  const bool src_bg = src.cluster == hw::kBlueGene;
+  const bool dst_bg = dst.cluster == hw::kBlueGene;
+  if (src == dst) return std::make_unique<LocalLink>(machine, inbox);
+  if (src_bg && dst_bg) {
+    return std::make_unique<MpiLink>(machine, src.node, dst.node, inbox, source_tag);
+  }
+  if (!src_bg && dst_bg) return std::make_unique<TcpToBgLink>(machine, src, dst.node, inbox);
+  if (src_bg && !dst_bg) return std::make_unique<TcpFromBgLink>(machine, src.node, dst, inbox);
+  return std::make_unique<TcpPlainLink>(machine, src, dst, inbox);
+}
+
+}  // namespace scsq::transport

@@ -1,0 +1,178 @@
+#include "transport/marshal.hpp"
+
+#include <cstring>
+
+namespace scsq::transport {
+namespace {
+
+using catalog::Kind;
+using catalog::Object;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+std::uint8_t get_u8(std::span<const std::uint8_t> data, std::size_t& off) {
+  SCSQ_CHECK(off + 1 <= data.size()) << "truncated marshal data";
+  return data[off++];
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> data, std::size_t& off) {
+  SCSQ_CHECK(off + 8 <= data.size()) << "truncated marshal data";
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[off + i]) << (8 * i);
+  off += 8;
+  return v;
+}
+
+double get_f64(std::span<const std::uint8_t> data, std::size_t& off) {
+  std::uint64_t bits = get_u64(data, off);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+void marshal(const Object& obj, std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(obj.kind()));
+  switch (obj.kind()) {
+    case Kind::kNull:
+      break;
+    case Kind::kInt:
+      put_u64(out, static_cast<std::uint64_t>(obj.as_int()));
+      break;
+    case Kind::kReal:
+      put_f64(out, obj.as_real());
+      break;
+    case Kind::kBool:
+      put_u8(out, obj.as_bool() ? 1 : 0);
+      break;
+    case Kind::kStr: {
+      const auto& s = obj.as_str();
+      put_u64(out, s.size());
+      out.insert(out.end(), s.begin(), s.end());
+      break;
+    }
+    case Kind::kBag: {
+      const auto& bag = obj.as_bag();
+      put_u64(out, bag.size());
+      for (const auto& o : bag) marshal(o, out);
+      break;
+    }
+    case Kind::kDArray: {
+      const auto& a = obj.as_darray();
+      put_u64(out, a.size());
+      for (double v : a) put_f64(out, v);
+      break;
+    }
+    case Kind::kCArray: {
+      const auto& a = obj.as_carray();
+      put_u64(out, a.size());
+      for (const auto& c : a) {
+        put_f64(out, c.real());
+        put_f64(out, c.imag());
+      }
+      break;
+    }
+    case Kind::kSynth:
+      put_u64(out, obj.as_synth().bytes);
+      put_u64(out, obj.as_synth().seq);
+      break;
+    case Kind::kSp: {
+      const auto& sp = obj.as_sp();
+      put_u64(out, sp.id);
+      put_u64(out, sp.cluster.size());
+      out.insert(out.end(), sp.cluster.begin(), sp.cluster.end());
+      break;
+    }
+  }
+}
+
+Object unmarshal(std::span<const std::uint8_t> data, std::size_t& offset) {
+  const auto kind = static_cast<Kind>(get_u8(data, offset));
+  switch (kind) {
+    case Kind::kNull:
+      return Object{};
+    case Kind::kInt:
+      return Object{static_cast<std::int64_t>(get_u64(data, offset))};
+    case Kind::kReal:
+      return Object{get_f64(data, offset)};
+    case Kind::kBool:
+      return Object{get_u8(data, offset) != 0};
+    case Kind::kStr: {
+      auto len = get_u64(data, offset);
+      SCSQ_CHECK(offset + len <= data.size()) << "truncated string";
+      std::string s(reinterpret_cast<const char*>(data.data() + offset),
+                    static_cast<std::size_t>(len));
+      offset += len;
+      return Object{std::move(s)};
+    }
+    case Kind::kBag: {
+      auto count = get_u64(data, offset);
+      catalog::Bag bag;
+      bag.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) bag.push_back(unmarshal(data, offset));
+      return Object{std::move(bag)};
+    }
+    case Kind::kDArray: {
+      auto count = get_u64(data, offset);
+      std::vector<double> a;
+      a.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) a.push_back(get_f64(data, offset));
+      return Object{std::move(a)};
+    }
+    case Kind::kCArray: {
+      auto count = get_u64(data, offset);
+      std::vector<std::complex<double>> a;
+      a.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        double re = get_f64(data, offset);
+        double im = get_f64(data, offset);
+        a.emplace_back(re, im);
+      }
+      return Object{std::move(a)};
+    }
+    case Kind::kSynth: {
+      catalog::SynthArray sa;
+      sa.bytes = get_u64(data, offset);
+      sa.seq = get_u64(data, offset);
+      return Object{sa};
+    }
+    case Kind::kSp: {
+      catalog::SpHandle sp;
+      sp.id = get_u64(data, offset);
+      auto len = get_u64(data, offset);
+      SCSQ_CHECK(offset + len <= data.size()) << "truncated sp cluster name";
+      sp.cluster.assign(reinterpret_cast<const char*>(data.data() + offset),
+                        static_cast<std::size_t>(len));
+      offset += len;
+      return Object{std::move(sp)};
+    }
+  }
+  SCSQ_CHECK(false) << "unknown kind tag " << static_cast<int>(kind);
+  return Object{};
+}
+
+std::vector<std::uint8_t> marshal_all(const std::vector<Object>& objs) {
+  std::vector<std::uint8_t> out;
+  for (const auto& o : objs) marshal(o, out);
+  return out;
+}
+
+std::vector<Object> unmarshal_all(std::span<const std::uint8_t> data) {
+  std::vector<Object> out;
+  std::size_t off = 0;
+  while (off < data.size()) out.push_back(unmarshal(data, off));
+  return out;
+}
+
+}  // namespace scsq::transport

@@ -1,0 +1,34 @@
+// Binary marshaling of SCSQL objects.
+//
+// This is the real wire format of the stream drivers: a 1-byte kind tag
+// followed by fixed-width little-endian payload fields. Object::
+// marshaled_size() mirrors these sizes, with one deliberate exception:
+// SynthArray physically encodes only its 17-byte descriptor, while
+// marshaled_size() reports descriptor + nominal payload bytes — the
+// simulation charges wire and CPU time for the payload the descriptor
+// stands in for, without allocating it (see catalog/object.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/object.hpp"
+
+namespace scsq::transport {
+
+/// Appends the encoding of `obj` to `out`.
+void marshal(const catalog::Object& obj, std::vector<std::uint8_t>& out);
+
+/// Decodes one object starting at `offset`; advances `offset` past it.
+/// SCSQ_CHECKs on malformed input (wire data is produced by our own
+/// marshal; corruption is a programmer error, not a user error).
+catalog::Object unmarshal(std::span<const std::uint8_t> data, std::size_t& offset);
+
+/// Convenience: encodes a sequence of objects into one buffer.
+std::vector<std::uint8_t> marshal_all(const std::vector<catalog::Object>& objs);
+
+/// Convenience: decodes all objects in `data`.
+std::vector<catalog::Object> unmarshal_all(std::span<const std::uint8_t> data);
+
+}  // namespace scsq::transport

@@ -1,0 +1,44 @@
+#include "util/bytes.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace scsq::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* const kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int idx = 0;
+  while (value >= 1024.0 && idx < 4) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kSuffix[idx]);
+  }
+  return buf;
+}
+
+std::string format_bandwidth_bps(double bits_per_second) {
+  static const char* const kSuffix[] = {"bit/s", "kbit/s", "Mbit/s", "Gbit/s"};
+  double value = bits_per_second;
+  int idx = 0;
+  while (value >= 1000.0 && idx < 3) {
+    value /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s", value, kSuffix[idx]);
+  return buf;
+}
+
+double to_mbps(std::uint64_t bytes, double seconds) {
+  SCSQ_CHECK(seconds > 0.0) << "bandwidth over non-positive duration";
+  return static_cast<double>(bytes) * 8.0 / seconds / 1e6;
+}
+
+}  // namespace scsq::util

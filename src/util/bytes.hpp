@@ -1,0 +1,19 @@
+// Byte-count and bandwidth formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scsq::util {
+
+/// Formats a byte count with a binary suffix, e.g. "3.0 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a bandwidth in bits per second with a decimal suffix,
+/// e.g. "921.3 Mbit/s" (the paper reports Mbit/s).
+std::string format_bandwidth_bps(double bits_per_second);
+
+/// Converts bytes / seconds to Mbit/s.
+double to_mbps(std::uint64_t bytes, double seconds);
+
+}  // namespace scsq::util

@@ -1,0 +1,71 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace scsq::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_time_mutex;
+std::function<double()> g_time_source;  // guarded by g_time_mutex
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_time_source(std::function<double()> now_seconds) {
+  std::lock_guard lock(g_time_mutex);
+  g_time_source = std::move(now_seconds);
+}
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  double t = -1.0;
+  {
+    std::lock_guard lock(g_time_mutex);
+    if (g_time_source) t = g_time_source();
+  }
+  // Strip directories from __FILE__ for readable output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  if (t >= 0.0) {
+    std::fprintf(stderr, "[%s t=%.9f %s:%d] %s\n", level_name(level), t, base, line,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), base, line, msg.c_str());
+  }
+}
+
+namespace detail {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << expr << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  log_line(LogLevel::kError, "check", 0, stream_.str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace scsq::util

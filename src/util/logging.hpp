@@ -1,0 +1,76 @@
+// Lightweight leveled logging and invariant-check macros for SCSQ.
+//
+// Logging is intentionally minimal: a single global level, output to
+// stderr, and cheap early-out when the level is disabled. The simulator
+// installs a time source so log lines carry simulated time when a
+// simulation is running.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace scsq::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the current global log level.
+LogLevel log_level();
+
+/// Sets the global log level. Thread-safe (relaxed atomic).
+void set_log_level(LogLevel level);
+
+/// Installs a function that renders the "current time" prefix for log
+/// lines (the simulator installs simulated time). Pass nullptr to reset.
+void set_log_time_source(std::function<double()> now_seconds);
+
+/// Emits one formatted log line to stderr. Prefer the SCSQ_LOG macro.
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace detail {
+struct LogMessage {
+  LogLevel level;
+  const char* file;
+  int line;
+  std::ostringstream stream;
+
+  LogMessage(LogLevel lvl, const char* f, int l) : level(lvl), file(f), line(l) {}
+  ~LogMessage() { log_line(level, file, line, stream.str()); }
+};
+}  // namespace detail
+
+}  // namespace scsq::util
+
+#define SCSQ_LOG(lvl)                                                       \
+  if (::scsq::util::LogLevel::lvl < ::scsq::util::log_level()) {            \
+  } else                                                                    \
+    ::scsq::util::detail::LogMessage(::scsq::util::LogLevel::lvl, __FILE__, \
+                                     __LINE__)                              \
+        .stream
+
+// Invariant check: always on (also in release builds); aborts with a
+// message on violation. Used for programmer errors, not user errors
+// (user-visible errors throw scsq::scsql::Error and friends).
+#define SCSQ_CHECK(cond)                                                     \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::scsq::util::detail::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace scsq::util::detail {
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace scsq::util::detail

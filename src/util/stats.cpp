@@ -1,0 +1,42 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace scsq::util {
+
+void Stats::add(double sample) { samples_.push_back(sample); }
+
+double Stats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Stats::stdev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::min() const {
+  SCSQ_CHECK(!samples_.empty()) << "min() of empty Stats";
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  SCSQ_CHECK(!samples_.empty()) << "max() of empty Stats";
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::ci95() const {
+  if (samples_.size() < 2) return 0.0;
+  return 1.96 * stdev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+}  // namespace scsq::util

@@ -1,0 +1,33 @@
+// Online statistics used by the benchmark harnesses.
+//
+// The paper runs every experiment five times "to achieve low variance";
+// the benches do the same with different RNG seeds and report mean and
+// sample standard deviation through this accumulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scsq::util {
+
+/// Accumulates samples and exposes mean / stdev / min / max.
+class Stats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stdev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of a ~95% normal confidence interval (1.96 * stdev / sqrt(n)).
+  double ci95() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace scsq::util

@@ -1,0 +1,162 @@
+// Engine edge cases: spv enumeration combinations, row-local bindings,
+// filters inside spv, allocation-sequence literals, and cross-cluster
+// paths not exercised by the paper's queries.
+#include <gtest/gtest.h>
+
+#include "core/scsq.hpp"
+
+namespace scsq {
+namespace {
+
+TEST(EngineEdge, SpvCartesianEnumeration) {
+  // Two 'in' enumerations: 2 x 3 = 6 stream processes, each producing
+  // i*j arrays of 1000 bytes.
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from bag of sp a, sp b "
+      "where b=sp(count(merge(a)), 'bg') "
+      "and a=spv((select gen_array(1000, i * j) "
+      "from integer i, integer j "
+      "where i in iota(1,2) and j in iota(1,3)), 'be', 1);");
+  ASSERT_EQ(r.results.size(), 1u);
+  // Sum over i in {1,2}, j in {1,2,3} of i*j = (1+2)*(1+2+3) = 18.
+  EXPECT_EQ(r.results[0].as_int(), 18);
+  EXPECT_EQ(r.rp_count, 2u + 6u);  // cm + b + 6 producers
+}
+
+TEST(EngineEdge, SpvRowFilter) {
+  // Filter keeps only even i: 2 of 4 subqueries spawn.
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from bag of sp a, sp b "
+      "where b=sp(count(merge(a)), 'bg') "
+      "and a=spv((select gen_array(1000, 5) "
+      "from integer i where i in iota(1,4) and i / 2 * 2 = i), 'be', 1);");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 10);  // 2 producers x 5 arrays
+}
+
+TEST(EngineEdge, SpvRowLocalBinding) {
+  // A row-local binding (m = i + 1) used by the shipped subquery.
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from bag of sp a, sp b "
+      "where b=sp(count(merge(a)), 'bg') "
+      "and a=spv((select gen_array(1000, m) "
+      "from integer i, integer m "
+      "where i in iota(1,3) and m = i + 1), 'be', 1);");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 2 + 3 + 4);
+}
+
+TEST(EngineEdge, AllocationSequenceAsBagLiteral) {
+  // A literal bag allocation sequence: producers cycle over nodes 2, 3.
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from bag of sp a, sp b "
+      "where b=sp(count(merge(a)), 'bg', 0) "
+      "and a=spv((select gen_array(1000, 2) "
+      "from integer i where i in iota(1,4)), 'bg', {2, 3, 4, 5});");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 8);
+  std::set<int> nodes;
+  for (const auto& c : r.connections) {
+    if (c.dst == hw::Location{"bg", 0}) nodes.insert(c.src.node);
+  }
+  EXPECT_EQ(nodes, (std::set<int>{2, 3, 4, 5}));
+}
+
+TEST(EngineEdge, BackEndOnlyQueryNeverTouchesBlueGene) {
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(streamof(count(extract(a))), 'be') "
+      "and a=sp(gen_array(100000, 6), 'be');");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 6);
+  for (const auto& c : r.connections) {
+    EXPECT_NE(c.src.cluster, "bg");
+    EXPECT_NE(c.dst.cluster, "bg");
+  }
+}
+
+TEST(EngineEdge, FrontEndProcessing) {
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(sum(extract(a)), 'fe') "
+      "and a=sp(iota(1, 10), 'be');");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 55);
+}
+
+TEST(EngineEdge, SumOfReals) {
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(sum(bagavg(cwindow(extract(a), 2))), 'bg') "
+      "and a=sp(iota(1, 4), 'bg');");
+  ASSERT_EQ(r.results.size(), 1u);
+  // Windows {1,2},{3,4} -> averages 1.5, 3.5 -> sum 5.0 (real).
+  EXPECT_DOUBLE_EQ(r.results[0].as_number(), 5.0);
+}
+
+TEST(EngineEdge, ChainAcrossAllThreeClusters) {
+  // be -> bg -> fe relay, counting at each hop.
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(c) from sp a, sp b, sp c "
+      "where c=sp(streamof(count(extract(b))), 'fe') "
+      "and b=sp(extract(a), 'bg') "
+      "and a=sp(gen_array(200000, 8), 'be');");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 8);
+}
+
+TEST(EngineEdge, MergeOfSingleHandle) {
+  // merge() accepts a single SP handle (degenerate bag).
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(count(merge(a)), 'bg') "
+      "and a=sp(gen_array(1000, 3), 'bg');");
+  EXPECT_EQ(r.results[0].as_int(), 3);
+}
+
+TEST(EngineEdge, EmptyEnumerationYieldsNoProducers) {
+  Scsq scsq;
+  // iota(1,0) is empty: spv returns an empty bag; merge of an empty bag
+  // is a user error the engine must surface cleanly.
+  EXPECT_THROW(scsq.run("select extract(b) from bag of sp a, sp b "
+                        "where b=sp(count(merge(a)), 'bg') "
+                        "and a=spv((select gen_array(1000, 1) "
+                        "from integer i where i in iota(1,0)), 'be', 1);"),
+               scsql::Error);
+}
+
+TEST(EngineEdge, FunctionWithTwoParameters) {
+  Scsq scsq;
+  auto r = scsq.run(
+      "create function pipeline(integer bytes, integer cnt) -> stream "
+      "as select extract(x) from sp x "
+      "where x=sp(gen_array(bytes, cnt), 'bg'); "
+      "count(pipeline(1000, 9));");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 9);
+}
+
+TEST(EngineEdge, TwoCallsOfSameFunctionDoNotCollide) {
+  // Inlining renames body variables per call site: two pipelines.
+  Scsq scsq;
+  auto r = scsq.run(
+      "create function gen(integer cnt) -> stream "
+      "as select extract(x) from sp x "
+      "where x=sp(gen_array(1000, cnt), 'be'); "
+      "count(merge({sp(count(gen(3)), 'bg'), sp(count(gen(4)), 'bg')}));");
+  ASSERT_EQ(r.results.size(), 1u);
+  // Two counts (3 and 4) merged and counted: 2 elements.
+  EXPECT_EQ(r.results[0].as_int(), 2);
+}
+
+}  // namespace
+}  // namespace scsq

@@ -1,0 +1,365 @@
+// Tests for the extension features: window aggregation, unbounded
+// streams with stop conditions, per-RP monitoring, and the
+// topology-aware node selection the paper proposes as future work.
+#include <gtest/gtest.h>
+
+#include "core/scsq.hpp"
+#include "exec/eval.hpp"
+#include "plan/builder.hpp"
+#include "plan/window_ops.hpp"
+#include "scsql/parser.hpp"
+
+namespace scsq {
+namespace {
+
+using catalog::Kind;
+using catalog::Object;
+
+// ---------------------------------------------------------------------
+// Window operators (unit level)
+// ---------------------------------------------------------------------
+
+struct WindowHarness {
+  sim::Simulator sim;
+  sim::Resource cpu{sim, 1, "cpu"};
+  exec::Env env;
+  plan::PlanContext ctx;
+
+  WindowHarness() {
+    ctx.sim = &sim;
+    ctx.loc = {"bg", 0};
+    ctx.cpu = &cpu;
+    ctx.node = hw::NodeParams{};
+    ctx.const_eval = [this](const scsql::ExprPtr& e) {
+      return exec::eval_const(e, env, nullptr);
+    };
+  }
+
+  std::vector<Object> run(const std::string& expr) {
+    auto op = plan::build_plan(scsql::parse_expression(expr), ctx);
+    std::vector<Object> out;
+    sim.spawn([](plan::Operator& o, std::vector<Object>& sink) -> sim::Task<void> {
+      while (auto obj = co_await o.next()) sink.push_back(std::move(*obj));
+    }(*op, out));
+    sim.run();
+    return out;
+  }
+};
+
+TEST(Window, TumblingGroupsElements) {
+  WindowHarness h;
+  auto out = h.run("cwindow(iota(1, 9), 3)");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].as_bag(), (catalog::Bag{Object{1}, Object{2}, Object{3}}));
+  EXPECT_EQ(out[2].as_bag(), (catalog::Bag{Object{7}, Object{8}, Object{9}}));
+}
+
+TEST(Window, TumblingEmitsFinalPartialWindow) {
+  WindowHarness h;
+  auto out = h.run("cwindow(iota(1, 7), 3)");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].as_bag().size(), 1u);
+  EXPECT_EQ(out[2].as_bag()[0].as_int(), 7);
+}
+
+TEST(Window, ShortStreamStillEmitsOneWindow) {
+  WindowHarness h;
+  auto out = h.run("cwindow(iota(1, 2), 5)");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as_bag().size(), 2u);
+}
+
+TEST(Window, EmptyStreamEmitsNothing) {
+  WindowHarness h;
+  EXPECT_TRUE(h.run("cwindow(iota(1, 0), 5)").empty());
+}
+
+TEST(Window, SlidingOverlapsWindows) {
+  WindowHarness h;
+  auto out = h.run("swindow(iota(1, 5), 3, 1)");
+  // Windows: {1,2,3} {2,3,4} {3,4,5}.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].as_bag()[0].as_int(), 1);
+  EXPECT_EQ(out[1].as_bag()[0].as_int(), 2);
+  EXPECT_EQ(out[2].as_bag(), (catalog::Bag{Object{3}, Object{4}, Object{5}}));
+}
+
+TEST(Window, SlideOfTwo) {
+  WindowHarness h;
+  auto out = h.run("swindow(iota(1, 8), 4, 2)");
+  // {1..4} {3..6} {5..8}: first window after 4 arrivals, then every 2.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].as_bag()[0].as_int(), 3);
+}
+
+TEST(Window, InvalidSizesRejected) {
+  WindowHarness h;
+  EXPECT_THROW(h.run("cwindow(iota(1,5), 0)"), scsql::Error);
+  EXPECT_THROW(h.run("swindow(iota(1,5), 3, 4)"), scsql::Error);  // slide > size
+  EXPECT_THROW(h.run("swindow(iota(1,5), 3, 0)"), scsql::Error);
+}
+
+TEST(Window, BagAggregates) {
+  WindowHarness h;
+  auto sums = h.run("bagsum(cwindow(iota(1, 6), 3))");
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums[0].as_number(), 6.0);   // 1+2+3
+  EXPECT_DOUBLE_EQ(sums[1].as_number(), 15.0);  // 4+5+6
+
+  auto avgs = h.run("bagavg(cwindow(iota(1, 6), 3))");
+  EXPECT_DOUBLE_EQ(avgs[0].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(avgs[1].as_number(), 5.0);
+
+  auto maxs = h.run("bagmax(cwindow(iota(1, 6), 3))");
+  EXPECT_DOUBLE_EQ(maxs[1].as_number(), 6.0);
+
+  auto mins = h.run("bagmin(cwindow(iota(1, 6), 3))");
+  EXPECT_DOUBLE_EQ(mins[0].as_number(), 1.0);
+
+  auto counts = h.run("bagcount(cwindow(iota(1, 7), 3))");
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[2].as_int(), 1);  // final partial window
+}
+
+TEST(Window, BagAggRejectsNonBags) {
+  WindowHarness h;
+  EXPECT_THROW(h.run("bagsum(iota(1, 3))"), scsql::Error);
+}
+
+TEST(Window, ScalarMaps) {
+  WindowHarness h;
+  auto abs_out = h.run("abs(iota(-3, -1))");
+  ASSERT_EQ(abs_out.size(), 3u);
+  EXPECT_DOUBLE_EQ(abs_out[0].as_number(), 3.0);
+  auto sqrt_out = h.run("sqrtv(iota(4, 4))");
+  EXPECT_DOUBLE_EQ(sqrt_out[0].as_number(), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Windows through full distributed queries
+// ---------------------------------------------------------------------
+
+TEST(Window, WindowedAggregationOverStream) {
+  Scsq scsq;
+  // Average over tumbling windows of the counts 1..12, computed on a
+  // BlueGene stream process.
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(bagavg(cwindow(extract(a), 4)), 'bg') "
+      "and a=sp(iota(1, 12), 'bg');");
+  ASSERT_EQ(r.results.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.results[0].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(r.results[1].as_number(), 6.5);
+  EXPECT_DOUBLE_EQ(r.results[2].as_number(), 10.5);
+}
+
+// ---------------------------------------------------------------------
+// Unbounded streams and stop conditions
+// ---------------------------------------------------------------------
+
+TEST(Stop, MaxResultsStopsInfiniteStream) {
+  ScsqConfig cfg;
+  cfg.exec.max_results = 10;
+  Scsq scsq(cfg);
+  auto r = scsq.run(
+      "select extract(a) from sp a where a=sp(gen_stream(100000), 'bg');");
+  EXPECT_EQ(r.results.size(), 10u);
+  EXPECT_TRUE(r.stopped);
+  // All objects are the synthetic arrays, in order.
+  for (std::size_t i = 0; i < r.results.size(); ++i) {
+    EXPECT_EQ(r.results[i].as_synth().seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Stop, TimeLimitStopsRunawayQuery) {
+  ScsqConfig cfg;
+  cfg.exec.max_sim_time_s = 0.05;  // 50 simulated milliseconds
+  Scsq scsq(cfg);
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(streamof(count(extract(a))), 'bg') "
+      "and a=sp(gen_stream(100000), 'bg');");
+  EXPECT_TRUE(r.stopped);
+  // count() observed end-of-stream at teardown and reported a partial
+  // count (or the client saw none — either way, the engine recovered).
+  EXPECT_LE(r.results.size(), 1u);
+}
+
+TEST(Stop, EngineUsableAfterStop) {
+  ScsqConfig cfg;
+  cfg.exec.max_results = 3;
+  Scsq scsq(cfg);
+  auto r1 = scsq.run("select extract(a) from sp a where a=sp(gen_stream(1000), 'bg');");
+  EXPECT_TRUE(r1.stopped);
+  auto r2 = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(streamof(count(extract(a))),'bg',0) "
+      "and a=sp(gen_array(1000,5),'bg',1);");
+  ASSERT_EQ(r2.results.size(), 1u);
+  EXPECT_EQ(r2.results[0].as_int(), 5);
+  EXPECT_FALSE(r2.stopped);
+}
+
+TEST(Stop, FiniteQueryNotMarkedStopped) {
+  Scsq scsq;
+  auto r = scsq.run("select 1;");
+  EXPECT_FALSE(r.stopped);
+}
+
+TEST(Stop, GenArrayRejectsNegativeCount) {
+  Scsq scsq;
+  EXPECT_THROW(
+      scsq.run("select extract(a) from sp a where a=sp(gen_array(10, -1), 'bg');"),
+      scsql::Error);
+}
+
+// ---------------------------------------------------------------------
+// Per-RP monitoring
+// ---------------------------------------------------------------------
+
+TEST(Monitoring, RpStatsReportElementsAndBytes) {
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(streamof(count(extract(a))),'bg',0) "
+      "and a=sp(gen_array(100000,10),'bg',1);");
+  ASSERT_EQ(r.rps.size(), 3u);
+  const exec::RpStat* a = nullptr;
+  const exec::RpStat* b = nullptr;
+  const exec::RpStat* cm = nullptr;
+  for (const auto& s : r.rps) {
+    if (s.loc == hw::Location{"bg", 1}) a = &s;
+    if (s.loc == hw::Location{"bg", 0}) b = &s;
+    if (s.id == 0) cm = &s;
+  }
+  ASSERT_TRUE(a && b && cm);
+  EXPECT_EQ(a->elements_out, 10u);          // ten arrays produced
+  EXPECT_GE(a->bytes_sent, 10u * 100'000u); // payload crossed its sender
+  EXPECT_EQ(a->bytes_received, 0u);
+  EXPECT_EQ(b->elements_out, 1u);           // one count
+  EXPECT_EQ(b->bytes_received, a->bytes_sent);
+  EXPECT_EQ(cm->elements_out, 1u);
+  EXPECT_EQ(cm->query, "extract(b)");  // the client manager's result expression
+  EXPECT_NE(a->query.find("gen_array"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Topology-aware node selection
+// ---------------------------------------------------------------------
+
+TEST(SmartSelection, CndbSpreadPrefersEmptyPsets) {
+  hw::Cndb db(32, [](int n) { return n / 8; });
+  // Occupy two nodes of pset 0 and one of pset 1.
+  db.set_busy(0, true);
+  db.set_busy(1, true);
+  db.set_busy(8, true);
+  auto pick = db.next_available_spread();
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_GE(*pick, 16);  // pset 2 or 3 (zero busy nodes)
+}
+
+TEST(SmartSelection, FallsBackWithoutPsets) {
+  // Without psets the spread strategy degrades to naive next-available
+  // (which round-robins its cursor).
+  hw::Cndb db(4);
+  EXPECT_EQ(db.next_available_spread(), 0);
+  EXPECT_EQ(db.next_available_spread(), 1);
+  db.set_busy(2, true);
+  EXPECT_EQ(db.next_available_spread(), 3);
+}
+
+TEST(SmartSelection, SkipsFullPsets) {
+  hw::Cndb db(16, [](int n) { return n / 8; });
+  for (int i = 0; i < 8; ++i) db.set_busy(i, true);  // pset 0 full
+  auto pick = db.next_available_spread();
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_GE(*pick, 8);
+}
+
+TEST(SmartSelection, SpreadsReceiversAcrossIoNodes) {
+  // Same Query-3-style topology with no allocation hints: naive packs
+  // all receivers into pset 0 (one I/O node); spread recruits all four.
+  auto run_with = [](exec::NodeSelection sel) {
+    ScsqConfig cfg;
+    cfg.exec.node_selection = sel;
+    Scsq scsq(cfg);
+    auto r = scsq.run(
+        "select extract(c) from bag of sp a, bag of sp b, sp c, integer n "
+        "where c=sp(streamof(sum(merge(b))), 'bg') "
+        "and b=spv((select streamof(count(extract(p))) from sp p where p in a), 'bg') "
+        "and a=spv((select gen_array(1000000,10) "
+        "from integer i where i in iota(1,n)), 'be', 1) "
+        "and n=4;");
+    std::set<int> psets;
+    for (const auto& c : r.connections) {
+      if (c.src.cluster == "be" && c.dst.cluster == "bg") psets.insert(c.dst.node / 8);
+    }
+    EXPECT_EQ(r.results[0].as_int(), 40);
+    return std::pair{psets.size(), r.elapsed_s};
+  };
+  auto [naive_psets, naive_time] = run_with(exec::NodeSelection::kNaive);
+  auto [spread_psets, spread_time] = run_with(exec::NodeSelection::kSpread);
+  EXPECT_EQ(naive_psets, 1u);
+  EXPECT_EQ(spread_psets, 4u);
+  // More I/O nodes -> much faster inbound streaming (Fig. 15 obs. 1).
+  EXPECT_LT(spread_time, 0.6 * naive_time);
+}
+
+// ---------------------------------------------------------------------
+// Rack-scale partition (paper §5: "what happens for large amounts of
+// back-end and I/O nodes")
+// ---------------------------------------------------------------------
+
+TEST(Scale, RackPartitionGeometry) {
+  sim::Simulator sim;
+  hw::Machine m(sim, hw::CostModel::bluegene_rack());
+  EXPECT_EQ(m.bg().compute_node_count(), 512);
+  EXPECT_EQ(m.bg().pset_count(), 64);
+  EXPECT_EQ(m.be().node_count(), 16);
+}
+
+TEST(Scale, ManyParallelStreamsOnRack) {
+  // 32 inbound streams over 32 psets with spread selection and 16
+  // back-end senders: ~67 stream processes in one CQ.
+  ScsqConfig cfg;
+  cfg.cost = hw::CostModel::bluegene_rack();
+  cfg.exec.node_selection = exec::NodeSelection::kSpread;
+  Scsq scsq(cfg);
+  auto r = scsq.run(
+      "select extract(c) from bag of sp a, bag of sp b, sp c, integer n "
+      "where c=sp(streamof(sum(merge(b))), 'bg') "
+      "and b=spv((select streamof(count(extract(p))) from sp p where p in a), 'bg') "
+      "and a=spv((select gen_array(500000,5) "
+      "from integer i where i in iota(1,n)), 'be', urr('be')) "
+      "and n=32;");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 32 * 5);
+  EXPECT_EQ(r.rp_count, 66u);  // client manager + 32 a + 32 b + c
+  // Spread selection recruited many distinct psets.
+  std::set<int> psets;
+  for (const auto& c : r.connections) {
+    if (c.src.cluster == "be" && c.dst.cluster == "bg") psets.insert(c.dst.node / 8);
+  }
+  EXPECT_GE(psets.size(), 16u);
+  // With 16 sending NICs and 32 I/O paths, aggregate inbound bandwidth
+  // must exceed the single-NIC ceiling of the small partition.
+  const double mbps = 32.0 * 5 * 500'000 * 8 / r.elapsed_s / 1e6;
+  EXPECT_GT(mbps, 940.0);
+}
+
+TEST(Scale, MergeOfSixtyFourStreams) {
+  ScsqConfig cfg;
+  cfg.cost = hw::CostModel::bluegene_rack();
+  Scsq scsq(cfg);
+  auto r = scsq.run(
+      "select extract(b) from bag of sp a, sp b, integer n "
+      "where b=sp(count(merge(a)), 'bg') "
+      "and a=spv((select gen_array(100000,3) "
+      "from integer i where i in iota(1,n)), 'bg') "
+      "and n=64;");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 64 * 3);
+}
+
+}  // namespace
+}  // namespace scsq

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "hw/cndb.hpp"
+#include "hw/machine.hpp"
+
+namespace scsq::hw {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cndb
+// ---------------------------------------------------------------------
+
+Cndb make_bg_cndb() {
+  // 32 nodes, psets of 8 (the paper's experiment partition).
+  return Cndb(32, [](int n) { return n / 8; });
+}
+
+TEST(Cndb, NextAvailableRoundRobins) {
+  Cndb db(4);
+  EXPECT_EQ(db.next_available(), 0);
+  EXPECT_EQ(db.next_available(), 1);
+  EXPECT_EQ(db.next_available(), 2);
+  EXPECT_EQ(db.next_available(), 3);
+  EXPECT_EQ(db.next_available(), 0);  // wraps
+}
+
+TEST(Cndb, NextAvailableSkipsBusy) {
+  Cndb db(4);
+  db.set_busy(0, true);
+  db.set_busy(1, true);
+  EXPECT_EQ(db.next_available(), 2);
+}
+
+TEST(Cndb, NextAvailableEmptyWhenAllBusy) {
+  Cndb db(2);
+  db.set_busy(0, true);
+  db.set_busy(1, true);
+  EXPECT_FALSE(db.next_available().has_value());
+}
+
+TEST(Cndb, FirstAvailableInSequence) {
+  Cndb db(8);
+  db.set_busy(3, true);
+  EXPECT_EQ(db.first_available_in({3, 5, 7}), 5);
+  EXPECT_EQ(db.first_available_in({3}), std::nullopt);
+  EXPECT_EQ(db.first_available_in({}), std::nullopt);
+}
+
+TEST(Cndb, RoundRobinAvailableWraps) {
+  Cndb db(3);
+  db.set_busy(1, true);
+  auto seq = db.round_robin_available(5);
+  EXPECT_EQ(seq, (std::vector<int>{0, 2, 0, 2, 0}));
+}
+
+TEST(Cndb, NodesInPset) {
+  auto db = make_bg_cndb();
+  auto p1 = db.nodes_in_pset(1);
+  ASSERT_EQ(p1.size(), 8u);
+  EXPECT_EQ(p1.front(), 8);
+  EXPECT_EQ(p1.back(), 15);
+  EXPECT_EQ(db.pset_count(), 4);
+}
+
+TEST(Cndb, PsetRoundRobinVisitsEachPsetFirst) {
+  auto db = make_bg_cndb();
+  auto seq = db.pset_round_robin(6);
+  ASSERT_EQ(seq.size(), 6u);
+  // First four entries: first node of psets 0..3; then second nodes.
+  EXPECT_EQ(seq[0] / 8, 0);
+  EXPECT_EQ(seq[1] / 8, 1);
+  EXPECT_EQ(seq[2] / 8, 2);
+  EXPECT_EQ(seq[3] / 8, 3);
+  EXPECT_EQ(seq[4] / 8, 0);
+  EXPECT_EQ(seq[5] / 8, 1);
+  // All entries distinct (they are meant to be selected in order).
+  std::set<int> uniq(seq.begin(), seq.end());
+  EXPECT_EQ(uniq.size(), seq.size());
+}
+
+TEST(Cndb, PsetRoundRobinSkipsBusyNodes) {
+  auto db = make_bg_cndb();
+  db.set_busy(0, true);  // first node of pset 0
+  auto seq = db.pset_round_robin(4);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0], 1);  // next available node of pset 0
+}
+
+// ---------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------
+
+TEST(Machine, LofarGeometry) {
+  sim::Simulator sim;
+  Machine m(sim);
+  EXPECT_EQ(m.bg().compute_node_count(), 32);
+  EXPECT_EQ(m.bg().pset_count(), 4);
+  EXPECT_EQ(m.be().node_count(), 4);
+  EXPECT_EQ(m.fe().node_count(), 2);
+  EXPECT_TRUE(m.has_cluster("bg"));
+  EXPECT_TRUE(m.has_cluster("be"));
+  EXPECT_TRUE(m.has_cluster("fe"));
+  EXPECT_FALSE(m.has_cluster("xx"));
+}
+
+TEST(Machine, PsetMapping) {
+  sim::Simulator sim;
+  Machine m(sim);
+  EXPECT_EQ(m.bg().pset_of(0), 0);
+  EXPECT_EQ(m.bg().pset_of(7), 0);
+  EXPECT_EQ(m.bg().pset_of(8), 1);
+  EXPECT_EQ(m.bg().pset_of(31), 3);
+}
+
+TEST(Machine, FabricHostOfBgIsItsIoNode) {
+  sim::Simulator sim;
+  Machine m(sim);
+  // Compute nodes in the same pset share one I/O node host.
+  EXPECT_EQ(m.fabric_host_of({"bg", 0}), m.fabric_host_of({"bg", 7}));
+  EXPECT_NE(m.fabric_host_of({"bg", 0}), m.fabric_host_of({"bg", 8}));
+  // Linux nodes each have their own host.
+  EXPECT_NE(m.fabric_host_of({"be", 0}), m.fabric_host_of({"be", 1}));
+}
+
+TEST(Machine, IoCoordinationFactor) {
+  sim::Simulator sim;
+  Machine m(sim);
+  EXPECT_DOUBLE_EQ(m.io_coordination_factor(), 1.0);  // no senders
+  auto io0 = m.bg().io_fabric_host(0);
+  auto be0 = m.fabric_host_of({"be", 0});
+  auto be1 = m.fabric_host_of({"be", 1});
+  auto f1 = m.fabric().open_flow(be0, io0);
+  EXPECT_DOUBLE_EQ(m.io_coordination_factor(), 1.0);  // one sender
+  auto f2 = m.fabric().open_flow(be1, io0);
+  EXPECT_DOUBLE_EQ(m.io_coordination_factor(), 1.0 + m.cost().io_coord_coeff);
+  m.fabric().close_flow(f1);
+  m.fabric().close_flow(f2);
+  EXPECT_DOUBLE_EQ(m.io_coordination_factor(), 1.0);
+}
+
+TEST(Machine, ComputeMuxFactor) {
+  sim::Simulator sim;
+  Machine m(sim);
+  EXPECT_DOUBLE_EQ(m.compute_mux_factor(0), 1.0);
+  m.register_bg_inbound(0);
+  EXPECT_DOUBLE_EQ(m.compute_mux_factor(0), 1.0);
+  m.register_bg_inbound(0);
+  m.register_bg_inbound(0);
+  EXPECT_DOUBLE_EQ(m.compute_mux_factor(0), 1.0 + 2 * m.cost().compute_mux_coeff);
+  m.unregister_bg_inbound(0);
+  m.unregister_bg_inbound(0);
+  m.unregister_bg_inbound(0);
+  EXPECT_DOUBLE_EQ(m.compute_mux_factor(0), 1.0);
+}
+
+TEST(Machine, LinuxCpusAreDual) {
+  sim::Simulator sim;
+  Machine m(sim);
+  EXPECT_EQ(m.cpu_of({"be", 0}).capacity(), 2);
+  EXPECT_EQ(m.cpu_of({"bg", 0}).capacity(), 1);
+}
+
+TEST(Machine, NodeParamsPerCluster) {
+  sim::Simulator sim;
+  Machine m(sim);
+  // BlueGene compute CPUs are slower per byte than Linux nodes.
+  EXPECT_GT(m.node_params({"bg", 0}).marshal_per_byte_s,
+            m.node_params({"be", 0}).marshal_per_byte_s);
+}
+
+}  // namespace
+}  // namespace scsq::hw

@@ -1,0 +1,227 @@
+// Tests for the Linear-Road-inspired workload: generator properties,
+// encode/decode round-trips, oracle behavior, and the incremental
+// streaming operators validated against the oracles through full
+// distributed SCSQL queries.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scsq.hpp"
+#include "lroad/workload.hpp"
+
+namespace scsq::lroad {
+namespace {
+
+// Matches the defaults the lr_source() builtin uses (notably the
+// segment count), so query results can be compared with local oracles.
+WorkloadParams small_params(std::uint64_t seed = 7) {
+  WorkloadParams p;
+  p.vehicles = 20;
+  p.ticks = 30;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Workload, DeterministicForSeed) {
+  auto a = generate_reports(small_params(3));
+  auto b = generate_reports(small_params(3));
+  EXPECT_EQ(a, b);
+  auto c = generate_reports(small_params(4));
+  EXPECT_NE(a, c);
+}
+
+TEST(Workload, ReportCountAndRanges) {
+  auto p = small_params();
+  auto reports = generate_reports(p);
+  EXPECT_EQ(reports.size(), static_cast<std::size_t>(p.vehicles * p.ticks));
+  for (const auto& r : reports) {
+    EXPECT_GE(r.vehicle, 0);
+    EXPECT_LT(r.vehicle, p.vehicles);
+    EXPECT_GE(r.segment, 0);
+    EXPECT_LT(r.segment, p.segments);
+    EXPECT_GE(r.speed, 0.0);
+    EXPECT_LE(r.speed, p.max_speed + 1e-9);
+  }
+}
+
+TEST(Workload, NoZeroSpeedsWithoutAccident) {
+  for (const auto& r : generate_reports(small_params())) {
+    EXPECT_GT(r.speed, 0.0);
+  }
+}
+
+TEST(Workload, AccidentStopsVehicles) {
+  auto p = small_params();
+  p.accident_start_tick = 10;
+  auto reports = generate_reports(p);
+  int zero_reports = 0;
+  for (const auto& r : reports) {
+    if (r.speed == 0.0) ++zero_reports;
+  }
+  // Two vehicles stopped for accident_duration_ticks ticks.
+  EXPECT_EQ(zero_reports, 2 * p.accident_duration_ticks);
+}
+
+TEST(Workload, EncodeDecodeRoundTrip) {
+  auto reports = generate_reports(small_params());
+  std::vector<Report> first_tick(reports.begin(), reports.begin() + 20);
+  auto encoded = encode_tick(first_tick);
+  EXPECT_EQ(encoded.size(), 80u);
+  EXPECT_EQ(decode_reports(encoded), first_tick);
+}
+
+TEST(Workload, EncodeTraceBatchesAllTicks) {
+  auto p = small_params();
+  auto trace = encode_trace(p);
+  ASSERT_EQ(trace.size(), static_cast<std::size_t>(p.ticks));
+  std::size_t total = 0;
+  for (const auto& batch : trace) total += batch.size() / 4;
+  EXPECT_EQ(total, static_cast<std::size_t>(p.vehicles * p.ticks));
+}
+
+TEST(Oracle, LavCoversActiveSegments) {
+  auto reports = generate_reports(small_params());
+  auto lav = oracle_lav(reports, 5, 1.0);
+  EXPECT_FALSE(lav.empty());
+  for (const auto& [seg, v] : lav) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 70.0 + 1e-9);
+  }
+}
+
+TEST(Oracle, NoTollsOnFreeFlowingRoad) {
+  // Without an accident every vehicle drives at >= 30 mph, well above
+  // the 40 mph threshold on average... but wobble can dip segments with
+  // a slow driver; use a high-speed fleet to make the check sharp.
+  auto p = small_params();
+  p.min_speed = 50.0;
+  auto reports = generate_reports(p);
+  EXPECT_TRUE(oracle_tolls(reports, TollParams{}, p.tick_seconds).empty());
+}
+
+TEST(Oracle, AccidentCausesTollsAndDetection) {
+  auto p = small_params();
+  p.vehicles = 60;  // enough traffic to exceed the free-vehicle count
+  p.ticks = 40;
+  p.accident_start_tick = 32;  // accident still active in the last window
+  p.accident_duration_ticks = 8;
+  auto reports = generate_reports(p);
+
+  auto accidents = oracle_accidents(reports, 4);
+  ASSERT_FALSE(accidents.empty());
+
+  auto tolls = oracle_tolls(reports, TollParams{}, p.tick_seconds);
+  // The accident segment congests: expect at least one tolled segment.
+  ASSERT_FALSE(tolls.empty());
+  for (const auto& [seg, toll] : tolls) EXPECT_GT(toll, 0.0);
+}
+
+TEST(Oracle, AccidentsNeedConsecutiveStops) {
+  // A vehicle stopped for 3 ticks is not an accident at threshold 4.
+  std::vector<Report> reports;
+  for (int t = 0; t < 3; ++t) reports.push_back({double(t), 1, 0.0, 2});
+  reports.push_back({3.0, 1, 30.0, 2});
+  EXPECT_TRUE(oracle_accidents(reports, 4).empty());
+  reports.push_back({4.0, 1, 0.0, 2});
+  EXPECT_TRUE(oracle_accidents(reports, 4).empty());  // run restarted
+}
+
+// ---------------------------------------------------------------------
+// Streaming operators vs. oracles, through distributed queries
+// ---------------------------------------------------------------------
+
+std::vector<std::pair<int, double>> decode_pairs(const catalog::Object& obj) {
+  const auto& a = obj.as_darray();
+  std::vector<std::pair<int, double>> out;
+  for (std::size_t i = 0; i + 1 < a.size(); i += 2) {
+    out.emplace_back(static_cast<int>(a[i]), a[i + 1]);
+  }
+  return out;
+}
+
+void expect_pairs_near(const std::vector<std::pair<int, double>>& got,
+                       const std::vector<std::pair<int, double>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first) << "entry " << i;
+    EXPECT_NEAR(got[i].second, want[i].second, 1e-9) << "entry " << i;
+  }
+}
+
+class LroadQuery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LroadQuery, StreamingLavMatchesOracle) {
+  const auto seed = GetParam();
+  Scsq scsq;
+  std::ostringstream q;
+  q << "select extract(b) from sp a, sp b"
+    << " where b=sp(lr_lav(extract(a), 5), 'bg')"
+    << " and a=sp(lr_source(20, 30, " << seed << "), 'be');";
+  auto r = scsq.run(q.str());
+  ASSERT_EQ(r.results.size(), 1u);
+
+  auto p = small_params(seed);
+  auto want = oracle_lav(generate_reports(p), 5, p.tick_seconds);
+  expect_pairs_near(decode_pairs(r.results[0]), want);
+}
+
+TEST_P(LroadQuery, StreamingTollsMatchOracle) {
+  const auto seed = GetParam();
+  Scsq scsq;
+  std::ostringstream q;
+  q << "select extract(b) from sp a, sp b"
+    << " where b=sp(lr_tolls(extract(a), 5), 'bg')"
+    << " and a=sp(lr_source_acc(60, 40, " << seed << ", 32), 'be');";
+  auto r = scsq.run(q.str());
+  ASSERT_EQ(r.results.size(), 1u);
+
+  WorkloadParams p = small_params(seed);
+  p.vehicles = 60;
+  p.ticks = 40;
+  p.accident_start_tick = 32;
+  p.accident_duration_ticks = 8;
+  auto want = oracle_tolls(generate_reports(p), TollParams{}, p.tick_seconds);
+  expect_pairs_near(decode_pairs(r.results[0]), want);
+}
+
+TEST_P(LroadQuery, StreamingAccidentsMatchOracle) {
+  const auto seed = GetParam();
+  Scsq scsq;
+  std::ostringstream q;
+  q << "select extract(b) from sp a, sp b"
+    << " where b=sp(lr_accidents(extract(a), 4), 'bg')"
+    << " and a=sp(lr_source_acc(60, 40, " << seed << ", 32), 'be');";
+  auto r = scsq.run(q.str());
+  ASSERT_EQ(r.results.size(), 1u);
+
+  WorkloadParams p = small_params(seed);
+  p.vehicles = 60;
+  p.ticks = 40;
+  p.accident_start_tick = 32;
+  p.accident_duration_ticks = 8;
+  auto want = oracle_accidents(generate_reports(p), 4);
+  const auto& got = r.results[0].as_darray();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(got[i]), want[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LroadQuery, ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(LroadQuery, SplitStreamToBothAnalyses) {
+  // One source, two independent analyses subscribing to it (stream
+  // splitting, like the radix2 query): tolls and accident detection.
+  Scsq scsq;
+  auto r = scsq.run(
+      "select extract(d) from sp a, sp b, sp c, sp d "
+      "where d=sp(count(merge({b, c})), 'fe') "
+      "and b=sp(lr_tolls(extract(a), 5), 'bg') "
+      "and c=sp(lr_accidents(extract(a), 4), 'bg') "
+      "and a=sp(lr_source_acc(60, 40, 5, 32), 'be');");
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].as_int(), 2);  // one result array from each analysis
+}
+
+}  // namespace
+}  // namespace scsq::lroad

@@ -1,0 +1,222 @@
+// Unit tests for SQEP operators and the plan builder, using a minimal
+// hand-wired PlanContext (no engine).
+#include <gtest/gtest.h>
+
+#include "exec/eval.hpp"
+#include "plan/builder.hpp"
+#include "plan/operators.hpp"
+#include "scsql/parser.hpp"
+
+namespace scsq::plan {
+namespace {
+
+using catalog::Bag;
+using catalog::Kind;
+using catalog::Object;
+
+struct Harness {
+  sim::Simulator sim;
+  hw::NodeParams node;
+  sim::Resource cpu{sim, 1, "cpu"};
+  exec::Env env;
+  PlanContext ctx;
+
+  Harness() {
+    ctx.sim = &sim;
+    ctx.loc = {"bg", 0};
+    ctx.cpu = &cpu;
+    ctx.node = node;
+    ctx.const_eval = [this](const scsql::ExprPtr& e) {
+      return exec::eval_const(e, env, nullptr);
+    };
+    ctx.stream_source = [](const std::string&) {
+      return std::vector<std::vector<double>>{{1.0, 2.0}, {3.0, 4.0}};
+    };
+  }
+
+  /// Runs an operator to completion, collecting its stream.
+  std::vector<Object> drain(Operator& op) {
+    std::vector<Object> out;
+    sim.spawn([](Operator& o, std::vector<Object>& sink) -> sim::Task<void> {
+      while (auto obj = co_await o.next()) sink.push_back(std::move(*obj));
+    }(op, out));
+    sim.run();
+    return out;
+  }
+
+  std::vector<Object> drain_expr(const std::string& expr_text) {
+    auto op = build_plan(scsql::parse_expression(expr_text), ctx);
+    return drain(*op);
+  }
+};
+
+TEST(Operators, ConstEmitsOnce) {
+  Harness h;
+  ConstOp op(h.ctx, Object{7});
+  auto out = h.drain(op);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as_int(), 7);
+}
+
+TEST(Operators, BagStreamEmitsElements) {
+  Harness h;
+  BagStreamOp op(h.ctx, Bag{Object{1}, Object{2}, Object{3}});
+  auto out = h.drain(op);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].as_int(), 3);
+}
+
+TEST(Operators, GenArrayProducesDescriptors) {
+  Harness h;
+  GenArrayOp op(h.ctx, 5000, 4);
+  auto out = h.drain(op);
+  ASSERT_EQ(out.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].as_synth().bytes, 5000u);
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].as_synth().seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Operators, GenArrayChargesCpuTime) {
+  Harness h;
+  GenArrayOp op(h.ctx, 1'000'000, 2);
+  h.drain(op);
+  // 2 arrays at gen_per_byte each, plus op overhead.
+  double expected = 2 * (h.node.op_invoke_s + 1e6 * h.node.gen_per_byte_s);
+  EXPECT_NEAR(h.sim.now(), expected, 1e-12);
+}
+
+TEST(Operators, CountViaBuilder) {
+  Harness h;
+  auto out = h.drain_expr("count(iota(1, 41))");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as_int(), 41);
+}
+
+TEST(Operators, CountEmptyStreamIsZero) {
+  Harness h;
+  auto out = h.drain_expr("count(iota(1, 0))");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as_int(), 0);
+}
+
+TEST(Operators, SumInts) {
+  Harness h;
+  auto out = h.drain_expr("sum(iota(1, 10))");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind(), Kind::kInt);
+  EXPECT_EQ(out[0].as_int(), 55);
+}
+
+TEST(Operators, StreamofPassesThrough) {
+  Harness h;
+  auto out = h.drain_expr("streamof(count(iota(1, 3)))");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as_int(), 3);
+}
+
+TEST(Operators, GrepEmitsMatches) {
+  Harness h;
+  auto out = h.drain_expr("grep('pulsar', filename(3))");
+  for (const auto& o : out) {
+    EXPECT_NE(o.as_str().find("pulsar"), std::string::npos);
+  }
+}
+
+TEST(Operators, ReceiverSourceEmitsRegisteredArrays) {
+  Harness h;
+  auto out = h.drain_expr("receiver('x')");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].as_darray(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Operators, OddEvenFftPipeline) {
+  Harness h;
+  h.ctx.stream_source = [](const std::string&) {
+    return std::vector<std::vector<double>>{{1, 2, 3, 4, 5, 6, 7, 8}};
+  };
+  auto out_even = h.drain_expr("even(receiver('x'))");
+  ASSERT_EQ(out_even.size(), 1u);
+  EXPECT_EQ(out_even[0].as_darray(), (std::vector<double>{1, 3, 5, 7}));
+
+  auto out_fft = h.drain_expr("fft(even(receiver('x')))");
+  ASSERT_EQ(out_fft.size(), 1u);
+  EXPECT_EQ(out_fft[0].as_carray().size(), 4u);
+}
+
+TEST(Operators, FftCostScalesSuperlinearly) {
+  Harness h;
+  h.ctx.stream_source = [](const std::string&) {
+    return std::vector<std::vector<double>>{std::vector<double>(1024, 1.0)};
+  };
+  auto op_small = build_plan(scsql::parse_expression("fft(receiver('x'))"), h.ctx);
+  h.drain(*op_small);
+  double t_1024 = h.sim.now();
+
+  Harness h2;
+  h2.ctx.stream_source = [](const std::string&) {
+    return std::vector<std::vector<double>>{std::vector<double>(4096, 1.0)};
+  };
+  auto op_big = build_plan(scsql::parse_expression("fft(receiver('x'))"), h2.ctx);
+  h2.drain(*op_big);
+  double t_4096 = h2.sim.now();
+  EXPECT_GT(t_4096, 4.0 * t_1024 * 0.8);  // ~4.8x for n log n
+}
+
+// ---------------------------------------------------------------------
+// Builder error paths
+// ---------------------------------------------------------------------
+
+TEST(Builder, ExtractNeedsSpHandle) {
+  Harness h;
+  h.env["a"] = Object{42};
+  EXPECT_THROW(build_plan(scsql::parse_expression("extract(a)"), h.ctx), scsql::Error);
+}
+
+TEST(Builder, MergeNeedsBagOfHandles) {
+  Harness h;
+  h.env["a"] = Object{Bag{Object{1}}};
+  EXPECT_THROW(build_plan(scsql::parse_expression("merge(a)"), h.ctx), scsql::Error);
+}
+
+TEST(Builder, MergeEmptyBagRejected) {
+  Harness h;
+  h.env["a"] = Object{Bag{}};
+  EXPECT_THROW(build_plan(scsql::parse_expression("merge(a)"), h.ctx), scsql::Error);
+}
+
+TEST(Builder, GenArrayArityChecked) {
+  Harness h;
+  EXPECT_THROW(build_plan(scsql::parse_expression("gen_array(1)"), h.ctx), scsql::Error);
+  EXPECT_THROW(build_plan(scsql::parse_expression("gen_array('x', 2)"), h.ctx),
+               scsql::Error);
+}
+
+TEST(Builder, NestedSpRejected) {
+  Harness h;
+  EXPECT_THROW(build_plan(scsql::parse_expression("count(extract(sp(gen_array(1,1))))"),
+                          h.ctx),
+               scsql::Error);
+}
+
+TEST(Builder, RadixCombineRequiresMergeOfTwo) {
+  Harness h;
+  h.env["a"] = Object{catalog::SpHandle{1, "bg"}};
+  EXPECT_THROW(build_plan(scsql::parse_expression("radixcombine(extract(a))"), h.ctx),
+               scsql::Error);
+}
+
+TEST(Builder, UnknownFunctionSurfacesEvalError) {
+  Harness h;
+  EXPECT_THROW(build_plan(scsql::parse_expression("mystery(1)"), h.ctx), scsql::Error);
+}
+
+TEST(Builder, ScalarArithmeticFoldsToConst) {
+  Harness h;
+  auto out = h.drain_expr("2 * 3 + 4");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as_int(), 10);
+}
+
+}  // namespace
+}  // namespace scsq::plan

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "resolve/binder.hpp"
+#include "scsql/parser.hpp"
+
+namespace scsq::resolve {
+namespace {
+
+using scsql::parse_statement;
+
+const scsql::Select& select_of(const scsql::Statement& st) {
+  EXPECT_TRUE(st.query);
+  EXPECT_EQ(st.query->kind, scsql::ExprKind::kSelect);
+  return *st.query->select;
+}
+
+TEST(FreeVars, SimpleVar) {
+  auto e = scsql::parse_expression("extract(a)");
+  auto fv = free_vars(e);
+  EXPECT_EQ(fv, (std::set<std::string>{"a"}));
+}
+
+TEST(FreeVars, CallNamesAreNotVars) {
+  auto e = scsql::parse_expression("count(merge({a, b}))");
+  EXPECT_EQ(free_vars(e), (std::set<std::string>{"a", "b"}));
+}
+
+TEST(FreeVars, LiteralsHaveNone) {
+  EXPECT_TRUE(free_vars(scsql::parse_expression("gen_array(3000000, 100)")).empty());
+}
+
+TEST(FreeVars, NestedSelectDeclsShadow) {
+  // i is declared by the inner select; n is free.
+  auto e = scsql::parse_expression(
+      "spv((select gen_array(i, 100) from integer i where i in iota(1, n)), 'be', 1)");
+  EXPECT_EQ(free_vars(e), (std::set<std::string>{"n"}));
+}
+
+TEST(Binder, OrdersBindingsByDependency) {
+  auto st = parse_statement(
+      "select extract(c) from sp a, sp b, sp c "
+      "where c=sp(extract(b)) and b=sp(extract(a)) and a=sp(gen_array(1,1));");
+  auto bound = bind(select_of(st));
+  ASSERT_EQ(bound.bindings.size(), 3u);
+  EXPECT_EQ(bound.bindings[0]->lhs->name, "a");
+  EXPECT_EQ(bound.bindings[1]->lhs->name, "b");
+  EXPECT_EQ(bound.bindings[2]->lhs->name, "c");
+}
+
+TEST(Binder, PaperQuery1Order) {
+  auto st = parse_statement(R"(
+    select extract(c) from bag of sp a, sp b, sp c, integer n
+    where c=sp(extract(b), 'bg')
+    and   b=sp(count(merge(a)), 'bg')
+    and   a=spv((select gen_array(3000000,100)
+                 from integer i where i in iota(1,n)), 'be', 1)
+    and n=4;)");
+  auto bound = bind(select_of(st));
+  ASSERT_EQ(bound.bindings.size(), 4u);
+  // n and a have no unmet deps (the inner select binds its own i); both
+  // must come before b, which must come before c.
+  std::vector<std::string> order;
+  for (auto* b : bound.bindings) order.push_back(b->lhs->name);
+  auto pos = [&](const std::string& v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos("n"), pos("a"));  // a's inner select references n
+  EXPECT_LT(pos("a"), pos("b"));
+  EXPECT_LT(pos("b"), pos("c"));
+}
+
+TEST(Binder, EnumerationClassified) {
+  auto st = parse_statement(
+      "select streamof(count(extract(p))) from sp p where p in a;");
+  auto bound = bind(select_of(st), /*pre_bound=*/{"a"});
+  EXPECT_TRUE(bound.bindings.empty());
+  ASSERT_EQ(bound.enumerations.size(), 1u);
+  EXPECT_EQ(bound.enumerations[0]->lhs->name, "p");
+  EXPECT_TRUE(bound.filters.empty());
+}
+
+TEST(Binder, FiltersKeptSeparate) {
+  auto st = parse_statement(
+      "select i from integer i, integer n where i in iota(1,10) and n=3 and i < n;");
+  auto bound = bind(select_of(st));
+  EXPECT_EQ(bound.bindings.size(), 1u);
+  EXPECT_EQ(bound.enumerations.size(), 1u);
+  ASSERT_EQ(bound.filters.size(), 1u);
+  EXPECT_EQ(bound.filters[0]->op, scsql::BinOp::kLt);
+}
+
+TEST(Binder, BindingWithVarOnRight) {
+  auto st = parse_statement("select n from integer n where 4 = n;");
+  auto bound = bind(select_of(st));
+  ASSERT_EQ(bound.bindings.size(), 1u);
+  EXPECT_TRUE(bound.filters.empty());
+}
+
+TEST(Binder, UnboundVariableThrows) {
+  auto st = parse_statement("select extract(a) from sp a, sp b where a=sp(extract(b));");
+  EXPECT_THROW(bind(select_of(st)), scsql::Error);  // b never bound
+}
+
+TEST(Binder, DoubleDeclarationThrows) {
+  auto st = parse_statement("select 1 from integer i, integer i where i=1;");
+  EXPECT_THROW(bind(select_of(st)), scsql::Error);
+}
+
+TEST(Binder, CyclicDependencyThrows) {
+  auto st = parse_statement(
+      "select 1 from sp a, sp b where a=sp(extract(b)) and b=sp(extract(a));");
+  EXPECT_THROW(bind(select_of(st)), scsql::Error);
+}
+
+TEST(Binder, ShadowingPreBoundThrows) {
+  auto st = parse_statement("select 1 from integer n where n=1;");
+  EXPECT_THROW(bind(select_of(st), {"n"}), scsql::Error);
+}
+
+TEST(Binder, InOnNonVariableThrows) {
+  auto st = parse_statement("select 1 from integer i where iota(1,2) in i and i=1;");
+  EXPECT_THROW(bind(select_of(st)), scsql::Error);
+}
+
+TEST(Binder, EqualityOnEnumeratedVarIsAFilter) {
+  // `i = 1` cannot bind an enumerated variable; it filters rows instead
+  // (regardless of predicate order).
+  for (const char* q : {"select i from integer i where i=1 and i in iota(1,3);",
+                        "select i from integer i where i in iota(1,3) and i=1;"}) {
+    auto st = parse_statement(q);
+    auto bound = bind(select_of(st));
+    EXPECT_TRUE(bound.bindings.empty()) << q;
+    EXPECT_EQ(bound.enumerations.size(), 1u) << q;
+    EXPECT_EQ(bound.filters.size(), 1u) << q;
+  }
+}
+
+TEST(Binder, DoubleEnumerationThrows) {
+  auto st = parse_statement(
+      "select i from integer i where i in iota(1,3) and i in iota(4,6);");
+  EXPECT_THROW(bind(select_of(st)), scsql::Error);
+}
+
+TEST(Binder, EnumerationDependsOnBinding) {
+  auto st = parse_statement(
+      "select i from integer i, integer n where i in iota(1,n) and n=5;");
+  auto bound = bind(select_of(st));
+  EXPECT_EQ(bound.bindings.size(), 1u);
+  EXPECT_EQ(bound.enumerations.size(), 1u);
+}
+
+}  // namespace
+}  // namespace scsq::resolve

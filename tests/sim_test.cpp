@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace scsq::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.live_root_tasks(), 0u);
+}
+
+TEST(Simulator, DelayAdvancesTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.spawn([](Simulator& s, double& out) -> Task<void> {
+    co_await s.delay(1.5);
+    out = s.now();
+  }(sim, seen));
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 1.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+  EXPECT_EQ(sim.live_root_tasks(), 0u);
+}
+
+TEST(Simulator, ZeroDelayDoesNotSuspend) {
+  Simulator sim;
+  int steps = 0;
+  sim.spawn([](Simulator& s, int& n) -> Task<void> {
+    co_await s.delay(0.0);
+    ++n;
+    co_await s.delay(-1.0);
+    ++n;
+  }(sim, steps));
+  sim.run();
+  EXPECT_EQ(steps, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, EventsOrderedByTime) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](Simulator& s, std::vector<int>& ord, double t, int id) -> Task<void> {
+    co_await s.delay(t);
+    ord.push_back(id);
+  };
+  sim.spawn(proc(sim, order, 3.0, 3));
+  sim.spawn(proc(sim, order, 1.0, 1));
+  sim.spawn(proc(sim, order, 2.0, 2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoWithinSameTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](std::vector<int>& ord, int id) -> Task<void> {
+    ord.push_back(id);
+    co_return;
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(proc(order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilLimitStopsEarly) {
+  Simulator sim;
+  bool late_ran = false;
+  sim.spawn([](Simulator& s, bool& flag) -> Task<void> {
+    co_await s.delay(10.0);
+    flag = true;
+  }(sim, late_ran));
+  sim.run(5.0);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.live_root_tasks(), 1u);
+}
+
+TEST(Simulator, CallAtRunsCallback) {
+  Simulator sim;
+  double at = -1.0;
+  sim.call_at(2.0, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 2.0);
+}
+
+TEST(Simulator, NestedTaskReturnsValue) {
+  Simulator sim;
+  int result = 0;
+  auto child = [](Simulator& s) -> Task<int> {
+    co_await s.delay(1.0);
+    co_return 42;
+  };
+  sim.spawn([](Simulator& s, auto childFn, int& out) -> Task<void> {
+    out = co_await childFn(s);
+  }(sim, child, result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulator, NestedTaskPropagatesException) {
+  Simulator sim;
+  bool caught = false;
+  auto child = []() -> Task<int> {
+    throw std::runtime_error("boom");
+    co_return 0;  // unreachable
+  };
+  sim.spawn([](auto childFn, bool& flag) -> Task<void> {
+    try {
+      (void)co_await childFn();
+    } catch (const std::runtime_error&) {
+      flag = true;
+    }
+  }(child, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Event, WaitersWakeOnSet) {
+  Simulator sim;
+  Event ev(sim);
+  std::vector<double> wake_times;
+  auto waiter = [](Event& e, std::vector<double>& times, Simulator& s) -> Task<void> {
+    co_await e.wait();
+    times.push_back(s.now());
+  };
+  sim.spawn(waiter(ev, wake_times, sim));
+  sim.spawn(waiter(ev, wake_times, sim));
+  sim.spawn([](Simulator& s, Event& e) -> Task<void> {
+    co_await s.delay(3.0);
+    e.set();
+  }(sim, ev));
+  sim.run();
+  ASSERT_EQ(wake_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(wake_times[0], 3.0);
+  EXPECT_DOUBLE_EQ(wake_times[1], 3.0);
+}
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  bool ran = false;
+  sim.spawn([](Event& e, bool& flag) -> Task<void> {
+    co_await e.wait();
+    flag = true;
+  }(ev, ran));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Channel, SendRecvInOrder) {
+  Simulator sim;
+  Channel<int> ch(sim, 4);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 10; ++i) co_await c.send(i);
+    c.close();
+  }(ch));
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    while (auto v = co_await c.recv()) out.push_back(*v);
+  }(ch, got));
+  sim.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(sim.live_root_tasks(), 0u);
+}
+
+TEST(Channel, BackpressureBlocksSender) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  std::vector<double> send_times;
+  sim.spawn([](Simulator& s, Channel<int>& c, std::vector<double>& times) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await c.send(i);
+      times.push_back(s.now());
+    }
+    c.close();
+  }(sim, ch, send_times));
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Task<void> {
+    while (true) {
+      co_await s.delay(1.0);  // slow consumer: one item per second
+      auto v = co_await c.recv();
+      if (!v) break;
+    }
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(send_times.size(), 3u);
+  // First send fits the buffer at t=0; each later send waits for a recv.
+  EXPECT_DOUBLE_EQ(send_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(send_times[1], 1.0);
+  EXPECT_DOUBLE_EQ(send_times[2], 2.0);
+}
+
+TEST(Channel, CloseDrainsBufferedValues) {
+  Simulator sim;
+  Channel<int> ch(sim, 8);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    co_await c.send(1);
+    co_await c.send(2);
+    c.close();
+    while (auto v = co_await c.recv()) out.push_back(*v);
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, RecvOnClosedEmptyReturnsNullopt) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  ch.close();
+  bool got_nullopt = false;
+  sim.spawn([](Channel<int>& c, bool& flag) -> Task<void> {
+    auto v = co_await c.recv();
+    flag = !v.has_value();
+  }(ch, got_nullopt));
+  sim.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(Channel, TrySendRespectsCapacity) {
+  Simulator sim;
+  Channel<int> ch(sim, 2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(Channel, MultipleReceiversEachGetDistinctValues) {
+  Simulator sim;
+  Channel<int> ch(sim, 2);
+  std::vector<int> a, b;
+  auto consumer = [](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    while (auto v = co_await c.recv()) out.push_back(*v);
+  };
+  sim.spawn(consumer(ch, a));
+  sim.spawn(consumer(ch, b));
+  sim.spawn([](Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 6; ++i) co_await c.send(i);
+    c.close();
+  }(ch));
+  sim.run();
+  EXPECT_EQ(a.size() + b.size(), 6u);
+  std::vector<int> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Resource, ExclusiveUseSerializes) {
+  Simulator sim;
+  Resource res(sim, 1, "cpu");
+  std::vector<double> done_times;
+  auto worker = [](Simulator& s, Resource& r, std::vector<double>& times) -> Task<void> {
+    co_await r.use(2.0);
+    times.push_back(s.now());
+  };
+  sim.spawn(worker(sim, res, done_times));
+  sim.spawn(worker(sim, res, done_times));
+  sim.spawn(worker(sim, res, done_times));
+  sim.run();
+  ASSERT_EQ(done_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(done_times[0], 2.0);
+  EXPECT_DOUBLE_EQ(done_times[1], 4.0);
+  EXPECT_DOUBLE_EQ(done_times[2], 6.0);
+}
+
+TEST(Resource, CapacityTwoRunsPairsConcurrently) {
+  Simulator sim;
+  Resource res(sim, 2, "duo");
+  std::vector<double> done_times;
+  auto worker = [](Simulator& s, Resource& r, std::vector<double>& times) -> Task<void> {
+    co_await r.use(2.0);
+    times.push_back(s.now());
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, res, done_times));
+  sim.run();
+  ASSERT_EQ(done_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(done_times[0], 2.0);
+  EXPECT_DOUBLE_EQ(done_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(done_times[2], 4.0);
+  EXPECT_DOUBLE_EQ(done_times[3], 4.0);
+}
+
+TEST(Resource, FifoGrantOrder) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<int> grant_order;
+  auto worker = [](Resource& r, std::vector<int>& order, int id) -> Task<void> {
+    co_await r.acquire();
+    ResourceLock lock(r);
+    order.push_back(id);
+    co_return;
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(worker(res, grant_order, i));
+  sim.run();
+  EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Resource, UtilizationTracksBusyTime) {
+  Simulator sim;
+  Resource res(sim, 1);
+  sim.spawn([](Simulator& s, Resource& r) -> Task<void> {
+    co_await r.use(1.0);   // busy [0,1)
+    co_await s.delay(1.0); // idle [1,2)
+  }(sim, res));
+  sim.run();
+  EXPECT_NEAR(res.busy_seconds(), 1.0, 1e-12);
+  EXPECT_NEAR(res.utilization(), 0.5, 1e-12);
+}
+
+TEST(Resource, LockReleasesOnScopeExit) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<double> times;
+  sim.spawn([](Simulator& s, Resource& r, std::vector<double>& t) -> Task<void> {
+    {
+      co_await r.acquire();
+      ResourceLock lock(r);
+      co_await s.delay(1.0);
+    }
+    t.push_back(s.now());
+  }(sim, res, times));
+  sim.spawn([](Simulator& s, Resource& r, std::vector<double>& t) -> Task<void> {
+    co_await r.acquire();
+    ResourceLock lock(r);
+    t.push_back(s.now());
+    co_await s.delay(0.5);
+  }(sim, res, times));
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);  // first worker done at t=1
+  EXPECT_DOUBLE_EQ(times[1], 1.0);  // second acquired right after release
+  EXPECT_EQ(res.in_use(), 0);
+}
+
+TEST(Simulator, ManyProcessesComplete) {
+  Simulator sim;
+  int done = 0;
+  auto proc = [](Simulator& s, int& n, double t) -> Task<void> {
+    co_await s.delay(t);
+    ++n;
+  };
+  for (int i = 0; i < 1000; ++i) sim.spawn(proc(sim, done, 0.001 * i));
+  sim.run();
+  EXPECT_EQ(done, 1000);
+  EXPECT_EQ(sim.live_root_tasks(), 0u);
+}
+
+TEST(Simulator, DeadlockDetectedAsLiveRoots) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  sim.spawn([](Channel<int>& c) -> Task<void> {
+    auto v = co_await c.recv();  // never sent, never closed
+    (void)v;
+  }(ch));
+  sim.run();
+  EXPECT_EQ(sim.live_root_tasks(), 1u);
+}
+
+}  // namespace
+}  // namespace scsq::sim

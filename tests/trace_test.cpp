@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scsq.hpp"
+#include "sim/resource.hpp"
+#include "sim/trace.hpp"
+
+namespace scsq::sim {
+namespace {
+
+TEST(Trace, RecordsIntervalsAndInstants) {
+  Trace trace;
+  trace.interval("cpu", "busy", 1.0, 3.0);
+  trace.interval("cpu", "busy", 5.0, 6.0);
+  trace.instant("rp", "spawn", 0.5);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.track_busy_seconds("cpu"), 3.0);
+  EXPECT_DOUBLE_EQ(trace.track_busy_seconds("rp"), 0.0);
+  EXPECT_DOUBLE_EQ(trace.track_busy_seconds("nope"), 0.0);
+}
+
+TEST(Trace, JsonFormat) {
+  Trace trace;
+  trace.interval("link\"x\"", "busy", 0.0, 1e-6);
+  trace.instant("rp", "done", 2e-6);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1"), std::string::npos);  // 1 microsecond
+  EXPECT_NE(json.find("link\\\"x\\\""), std::string::npos);  // escaped quotes
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Trace, ResourceBusyEpisodes) {
+  Simulator sim;
+  Trace trace;
+  Resource res(sim, 1, "cpu0");
+  res.set_trace(&trace);
+  sim.spawn([](Simulator& s, Resource& r) -> Task<void> {
+    co_await r.use(2.0);
+    co_await s.delay(1.0);
+    co_await r.use(3.0);
+  }(sim, res));
+  sim.run();
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_NEAR(trace.track_busy_seconds("cpu0"), 5.0, 1e-12);
+  EXPECT_NEAR(trace.track_busy_seconds("cpu0"), res.busy_seconds(), 1e-12);
+}
+
+TEST(Trace, HandOffExtendsEpisode) {
+  // Back-to-back holders via FIFO hand-off form a single busy episode.
+  Simulator sim;
+  Trace trace;
+  Resource res(sim, 1, "cpu0");
+  res.set_trace(&trace);
+  auto worker = [](Resource& r) -> Task<void> { co_await r.use(1.0); };
+  sim.spawn(worker(res));
+  sim.spawn(worker(res));
+  sim.run();
+  EXPECT_EQ(trace.size(), 1u);  // one merged [0, 2) episode
+  EXPECT_NEAR(trace.track_busy_seconds("cpu0"), 2.0, 1e-12);
+}
+
+TEST(Trace, FullQueryProducesConsistentTrace) {
+  Scsq scsq;
+  Trace trace;
+  scsq.machine().set_trace(&trace);
+  auto r = scsq.run(
+      "select extract(b) from sp a, sp b "
+      "where b=sp(streamof(count(extract(a))),'bg',0) "
+      "and a=sp(gen_array(300000,10),'bg',1);");
+  scsq.machine().set_trace(nullptr);
+  EXPECT_EQ(r.results[0].as_int(), 10);
+  EXPECT_GT(trace.size(), 10u);
+  // The producing node's co-processor busy time matches the resource's
+  // own accounting.
+  auto& coproc1 = scsq.machine().bg().torus().coproc(1);
+  EXPECT_NEAR(trace.track_busy_seconds("coproc1"), coproc1.busy_seconds(), 1e-9);
+  // The receiving side was busy too, and within the elapsed time.
+  EXPECT_GT(trace.track_busy_seconds("coproc0"), 0.0);
+  EXPECT_LE(trace.track_busy_seconds("coproc0"), r.elapsed_s);
+  std::ostringstream os;
+  trace.write_json(os);
+  EXPECT_GT(os.str().size(), 1000u);
+}
+
+}  // namespace
+}  // namespace scsq::sim

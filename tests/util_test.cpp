@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace scsq::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "::"), "x::y::z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("select x", "select"));
+  EXPECT_FALSE(starts_with("sel", "select"));
+  EXPECT_TRUE(ends_with("query.sql", ".sql"));
+  EXPECT_FALSE(ends_with("sql", ".sql"));
+}
+
+TEST(Strings, ToLowerAndContains) {
+  EXPECT_EQ(to_lower("SeLeCt"), "select");
+  EXPECT_TRUE(contains("needle in haystack", "in hay"));
+  EXPECT_FALSE(contains("abc", "abd"));
+}
+
+TEST(Stats, MeanAndStdev) {
+  Stats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.stdev(), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, SingleSampleHasZeroSpread) {
+  Stats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(Stats, EmptyMeanIsZero) {
+  Stats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Bytes, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(Bytes, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth_bps(921.3e6), "921.3 Mbit/s");
+  EXPECT_EQ(format_bandwidth_bps(1.4e9), "1.4 Gbit/s");
+}
+
+TEST(Bytes, ToMbps) {
+  // 1 MB in 1 s = 8 Mbit/s.
+  EXPECT_DOUBLE_EQ(to_mbps(1'000'000, 1.0), 8.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, JitterStaysPositive) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.jitter(0.5), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace scsq::util

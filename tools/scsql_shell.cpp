@@ -1,0 +1,113 @@
+// scsql_shell — run SCSQL scripts against a simulated LOFAR environment.
+//
+//   $ ./tools/scsql_shell query.scsql          # run a script file
+//   $ echo "select 1+2;" | ./tools/scsql_shell # or read stdin
+//
+// Options (environment variables, mirroring ExecOptions):
+//   SCSQ_BUFFER_BYTES   stream buffer size (default 65536)
+//   SCSQ_SEND_BUFFERS   1 = single, 2 = double buffering (default 2)
+//   SCSQ_MAX_RESULTS    stop condition (default unlimited)
+//   SCSQ_SMART_SELECT   1 = topology-aware node selection
+//   SCSQ_VERBOSE        1 = per-RP monitoring dump after each query
+//   SCSQ_TRACE          path: write a Chrome-tracing JSON of the run
+//                       (open in chrome://tracing or Perfetto)
+//
+// Each query statement prints its result stream, the simulated elapsed
+// time, and the total stream volume — the same numbers the paper's
+// measurement methodology uses.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/scsq.hpp"
+#include "sim/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+void print_report(const scsq::exec::RunReport& report, bool verbose) {
+  std::printf("-- %zu result(s)", report.results.size());
+  if (report.stopped) std::printf(" [stopped]");
+  std::printf("\n");
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    if (i == 20 && report.results.size() > 25) {
+      std::printf("   ... (%zu more)\n", report.results.size() - i);
+      break;
+    }
+    std::printf("   %s\n", report.results[i].to_string().c_str());
+  }
+  std::printf("-- %.6f s simulated (%.3f ms setup), %s streamed, %zu stream process(es)\n",
+              report.elapsed_s, report.setup_s * 1e3,
+              scsq::util::format_bytes(report.stream_bytes).c_str(), report.rp_count);
+  if (verbose) {
+    for (const auto& rp : report.rps) {
+      std::printf("   rp#%-3llu %-6s out=%-8llu tx=%-12llu rx=%-12llu %s\n",
+                  static_cast<unsigned long long>(rp.id), rp.loc.to_string().c_str(),
+                  static_cast<unsigned long long>(rp.elements_out),
+                  static_cast<unsigned long long>(rp.bytes_sent),
+                  static_cast<unsigned long long>(rp.bytes_received), rp.query.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "scsql_shell: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  } else {
+    std::stringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  }
+
+  scsq::ScsqConfig config;
+  config.exec.buffer_bytes = env_u64("SCSQ_BUFFER_BYTES", 64 * 1024);
+  config.exec.send_buffers = static_cast<int>(env_u64("SCSQ_SEND_BUFFERS", 2));
+  config.exec.max_results = static_cast<std::size_t>(env_u64("SCSQ_MAX_RESULTS", 0));
+  if (env_u64("SCSQ_SMART_SELECT", 0) != 0) {
+    config.exec.node_selection = scsq::exec::NodeSelection::kSpread;
+  }
+  const bool verbose = env_u64("SCSQ_VERBOSE", 0) != 0;
+
+  scsq::Scsq scsq(config);
+  scsq::sim::Trace trace;
+  const char* trace_path = std::getenv("SCSQ_TRACE");
+  if (trace_path != nullptr) scsq.machine().set_trace(&trace);
+  try {
+    for (const auto& statement : scsq::scsql::parse_script(source)) {
+      if (statement.function) {
+        scsq.engine().register_function(statement.function);
+        std::printf("-- registered function '%s'\n", statement.function->name.c_str());
+        continue;
+      }
+      std::printf(">> %s;\n", statement.query->to_string().c_str());
+      print_report(scsq.engine().run_statement(statement), verbose);
+    }
+  } catch (const scsq::scsql::Error& e) {
+    std::fprintf(stderr, "scsql error: %s\n", e.what());
+    return 1;
+  }
+  if (trace_path != nullptr) {
+    std::ofstream out(trace_path);
+    trace.write_json(out);
+    std::printf("-- trace (%zu events) written to %s\n", trace.size(), trace_path);
+  }
+  return 0;
+}
