@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_coproc.dir/bench_ablate_coproc.cpp.o"
+  "CMakeFiles/bench_ablate_coproc.dir/bench_ablate_coproc.cpp.o.d"
+  "bench_ablate_coproc"
+  "bench_ablate_coproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_coproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dblbuf.dir/bench_ablate_dblbuf.cpp.o"
+  "CMakeFiles/bench_ablate_dblbuf.dir/bench_ablate_dblbuf.cpp.o.d"
+  "bench_ablate_dblbuf"
+  "bench_ablate_dblbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dblbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

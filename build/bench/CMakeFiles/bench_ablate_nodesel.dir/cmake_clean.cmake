@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_nodesel.dir/bench_ablate_nodesel.cpp.o"
+  "CMakeFiles/bench_ablate_nodesel.dir/bench_ablate_nodesel.cpp.o.d"
+  "bench_ablate_nodesel"
+  "bench_ablate_nodesel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_nodesel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_smartsel.cpp" "bench/CMakeFiles/bench_ablate_smartsel.dir/bench_ablate_smartsel.cpp.o" "gcc" "bench/CMakeFiles/bench_ablate_smartsel.dir/bench_ablate_smartsel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/scsq_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/scsq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/scsq_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/lroad/CMakeFiles/scsq_lroad.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolve/CMakeFiles/scsq_resolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/scsq_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/scsq_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/scsq_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scsq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/scsql/CMakeFiles/scsq_scsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/scsq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scsq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_smartsel.dir/bench_ablate_smartsel.cpp.o"
+  "CMakeFiles/bench_ablate_smartsel.dir/bench_ablate_smartsel.cpp.o.d"
+  "bench_ablate_smartsel"
+  "bench_ablate_smartsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_smartsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_inbound.dir/bench_fig15_inbound.cpp.o"
+  "CMakeFiles/bench_fig15_inbound.dir/bench_fig15_inbound.cpp.o.d"
+  "bench_fig15_inbound"
+  "bench_fig15_inbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_inbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_p2p.dir/bench_fig6_p2p.cpp.o"
+  "CMakeFiles/bench_fig6_p2p.dir/bench_fig6_p2p.cpp.o.d"
+  "bench_fig6_p2p"
+  "bench_fig6_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

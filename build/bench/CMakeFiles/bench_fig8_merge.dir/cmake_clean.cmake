@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_merge.dir/bench_fig8_merge.cpp.o"
+  "CMakeFiles/bench_fig8_merge.dir/bench_fig8_merge.cpp.o.d"
+  "bench_fig8_merge"
+  "bench_fig8_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

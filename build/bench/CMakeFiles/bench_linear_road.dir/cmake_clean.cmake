@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linear_road.dir/bench_linear_road.cpp.o"
+  "CMakeFiles/bench_linear_road.dir/bench_linear_road.cpp.o.d"
+  "bench_linear_road"
+  "bench_linear_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_bench_common.dir/common.cpp.o"
+  "CMakeFiles/scsq_bench_common.dir/common.cpp.o.d"
+  "libscsq_bench_common.a"
+  "libscsq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_road.dir/linear_road.cpp.o"
+  "CMakeFiles/linear_road.dir/linear_road.cpp.o.d"
+  "linear_road"
+  "linear_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_grep.dir/mapreduce_grep.cpp.o"
+  "CMakeFiles/mapreduce_grep.dir/mapreduce_grep.cpp.o.d"
+  "mapreduce_grep"
+  "mapreduce_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

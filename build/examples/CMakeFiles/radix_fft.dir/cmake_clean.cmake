@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_fft.dir/radix_fft.cpp.o"
+  "CMakeFiles/radix_fft.dir/radix_fft.cpp.o.d"
+  "radix_fft"
+  "radix_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_probe.dir/topology_probe.cpp.o"
+  "CMakeFiles/topology_probe.dir/topology_probe.cpp.o.d"
+  "topology_probe"
+  "topology_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("hw")
+subdirs("catalog")
+subdirs("transport")
+subdirs("scsql")
+subdirs("resolve")
+subdirs("plan")
+subdirs("funcs")
+subdirs("lroad")
+subdirs("exec")
+subdirs("core")

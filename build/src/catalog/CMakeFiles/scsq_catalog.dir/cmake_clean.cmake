@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_catalog.dir/object.cpp.o"
+  "CMakeFiles/scsq_catalog.dir/object.cpp.o.d"
+  "libscsq_catalog.a"
+  "libscsq_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

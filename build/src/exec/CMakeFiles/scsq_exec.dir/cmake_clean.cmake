@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_exec.dir/coordinator.cpp.o"
+  "CMakeFiles/scsq_exec.dir/coordinator.cpp.o.d"
+  "CMakeFiles/scsq_exec.dir/engine.cpp.o"
+  "CMakeFiles/scsq_exec.dir/engine.cpp.o.d"
+  "CMakeFiles/scsq_exec.dir/eval.cpp.o"
+  "CMakeFiles/scsq_exec.dir/eval.cpp.o.d"
+  "CMakeFiles/scsq_exec.dir/substitute.cpp.o"
+  "CMakeFiles/scsq_exec.dir/substitute.cpp.o.d"
+  "libscsq_exec.a"
+  "libscsq_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/funcs/fft.cpp" "src/funcs/CMakeFiles/scsq_funcs.dir/fft.cpp.o" "gcc" "src/funcs/CMakeFiles/scsq_funcs.dir/fft.cpp.o.d"
+  "/root/repo/src/funcs/textgen.cpp" "src/funcs/CMakeFiles/scsq_funcs.dir/textgen.cpp.o" "gcc" "src/funcs/CMakeFiles/scsq_funcs.dir/textgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/scsq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scsq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_funcs.dir/fft.cpp.o"
+  "CMakeFiles/scsq_funcs.dir/fft.cpp.o.d"
+  "CMakeFiles/scsq_funcs.dir/textgen.cpp.o"
+  "CMakeFiles/scsq_funcs.dir/textgen.cpp.o.d"
+  "libscsq_funcs.a"
+  "libscsq_funcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

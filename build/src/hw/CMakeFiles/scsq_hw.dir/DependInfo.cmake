@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cndb.cpp" "src/hw/CMakeFiles/scsq_hw.dir/cndb.cpp.o" "gcc" "src/hw/CMakeFiles/scsq_hw.dir/cndb.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/scsq_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/scsq_hw.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/scsq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scsq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

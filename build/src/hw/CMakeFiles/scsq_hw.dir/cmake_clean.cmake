@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_hw.dir/cndb.cpp.o"
+  "CMakeFiles/scsq_hw.dir/cndb.cpp.o.d"
+  "CMakeFiles/scsq_hw.dir/machine.cpp.o"
+  "CMakeFiles/scsq_hw.dir/machine.cpp.o.d"
+  "libscsq_hw.a"
+  "libscsq_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_lroad.dir/workload.cpp.o"
+  "CMakeFiles/scsq_lroad.dir/workload.cpp.o.d"
+  "libscsq_lroad.a"
+  "libscsq_lroad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_lroad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

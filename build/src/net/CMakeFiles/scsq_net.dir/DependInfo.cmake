@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/scsq_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/scsq_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/torus_net.cpp" "src/net/CMakeFiles/scsq_net.dir/torus_net.cpp.o" "gcc" "src/net/CMakeFiles/scsq_net.dir/torus_net.cpp.o.d"
+  "/root/repo/src/net/tree_net.cpp" "src/net/CMakeFiles/scsq_net.dir/tree_net.cpp.o" "gcc" "src/net/CMakeFiles/scsq_net.dir/tree_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scsq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_net.dir/ethernet.cpp.o"
+  "CMakeFiles/scsq_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/scsq_net.dir/torus_net.cpp.o"
+  "CMakeFiles/scsq_net.dir/torus_net.cpp.o.d"
+  "CMakeFiles/scsq_net.dir/tree_net.cpp.o"
+  "CMakeFiles/scsq_net.dir/tree_net.cpp.o.d"
+  "libscsq_net.a"
+  "libscsq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/builder.cpp" "src/plan/CMakeFiles/scsq_plan.dir/builder.cpp.o" "gcc" "src/plan/CMakeFiles/scsq_plan.dir/builder.cpp.o.d"
+  "/root/repo/src/plan/lroad_ops.cpp" "src/plan/CMakeFiles/scsq_plan.dir/lroad_ops.cpp.o" "gcc" "src/plan/CMakeFiles/scsq_plan.dir/lroad_ops.cpp.o.d"
+  "/root/repo/src/plan/operators.cpp" "src/plan/CMakeFiles/scsq_plan.dir/operators.cpp.o" "gcc" "src/plan/CMakeFiles/scsq_plan.dir/operators.cpp.o.d"
+  "/root/repo/src/plan/window_ops.cpp" "src/plan/CMakeFiles/scsq_plan.dir/window_ops.cpp.o" "gcc" "src/plan/CMakeFiles/scsq_plan.dir/window_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lroad/CMakeFiles/scsq_lroad.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/scsq_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/scsq_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/scsq_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/scsql/CMakeFiles/scsq_scsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/scsq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scsq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scsq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

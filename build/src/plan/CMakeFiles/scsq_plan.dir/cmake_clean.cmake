@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_plan.dir/builder.cpp.o"
+  "CMakeFiles/scsq_plan.dir/builder.cpp.o.d"
+  "CMakeFiles/scsq_plan.dir/lroad_ops.cpp.o"
+  "CMakeFiles/scsq_plan.dir/lroad_ops.cpp.o.d"
+  "CMakeFiles/scsq_plan.dir/operators.cpp.o"
+  "CMakeFiles/scsq_plan.dir/operators.cpp.o.d"
+  "CMakeFiles/scsq_plan.dir/window_ops.cpp.o"
+  "CMakeFiles/scsq_plan.dir/window_ops.cpp.o.d"
+  "libscsq_plan.a"
+  "libscsq_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_resolve.dir/binder.cpp.o"
+  "CMakeFiles/scsq_resolve.dir/binder.cpp.o.d"
+  "libscsq_resolve.a"
+  "libscsq_resolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_resolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscsq_resolve.a"
+)

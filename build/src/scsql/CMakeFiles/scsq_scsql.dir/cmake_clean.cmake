@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_scsql.dir/ast.cpp.o"
+  "CMakeFiles/scsq_scsql.dir/ast.cpp.o.d"
+  "CMakeFiles/scsq_scsql.dir/lexer.cpp.o"
+  "CMakeFiles/scsq_scsql.dir/lexer.cpp.o.d"
+  "CMakeFiles/scsq_scsql.dir/parser.cpp.o"
+  "CMakeFiles/scsq_scsql.dir/parser.cpp.o.d"
+  "libscsq_scsql.a"
+  "libscsq_scsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_scsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

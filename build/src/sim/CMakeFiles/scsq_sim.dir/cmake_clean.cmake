@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/scsq_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/scsq_sim.dir/trace.cpp.o"
+  "CMakeFiles/scsq_sim.dir/trace.cpp.o.d"
+  "libscsq_sim.a"
+  "libscsq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

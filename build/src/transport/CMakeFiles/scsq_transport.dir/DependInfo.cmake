@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/driver.cpp" "src/transport/CMakeFiles/scsq_transport.dir/driver.cpp.o" "gcc" "src/transport/CMakeFiles/scsq_transport.dir/driver.cpp.o.d"
+  "/root/repo/src/transport/frame.cpp" "src/transport/CMakeFiles/scsq_transport.dir/frame.cpp.o" "gcc" "src/transport/CMakeFiles/scsq_transport.dir/frame.cpp.o.d"
+  "/root/repo/src/transport/links.cpp" "src/transport/CMakeFiles/scsq_transport.dir/links.cpp.o" "gcc" "src/transport/CMakeFiles/scsq_transport.dir/links.cpp.o.d"
+  "/root/repo/src/transport/marshal.cpp" "src/transport/CMakeFiles/scsq_transport.dir/marshal.cpp.o" "gcc" "src/transport/CMakeFiles/scsq_transport.dir/marshal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/scsq_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/scsq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scsq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scsq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_transport.dir/driver.cpp.o"
+  "CMakeFiles/scsq_transport.dir/driver.cpp.o.d"
+  "CMakeFiles/scsq_transport.dir/frame.cpp.o"
+  "CMakeFiles/scsq_transport.dir/frame.cpp.o.d"
+  "CMakeFiles/scsq_transport.dir/links.cpp.o"
+  "CMakeFiles/scsq_transport.dir/links.cpp.o.d"
+  "CMakeFiles/scsq_transport.dir/marshal.cpp.o"
+  "CMakeFiles/scsq_transport.dir/marshal.cpp.o.d"
+  "libscsq_transport.a"
+  "libscsq_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsq_util.dir/bytes.cpp.o"
+  "CMakeFiles/scsq_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/scsq_util.dir/logging.cpp.o"
+  "CMakeFiles/scsq_util.dir/logging.cpp.o.d"
+  "CMakeFiles/scsq_util.dir/stats.cpp.o"
+  "CMakeFiles/scsq_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scsq_util.dir/strings.cpp.o"
+  "CMakeFiles/scsq_util.dir/strings.cpp.o.d"
+  "libscsq_util.a"
+  "libscsq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funcs_test.dir/funcs_test.cpp.o"
+  "CMakeFiles/funcs_test.dir/funcs_test.cpp.o.d"
+  "funcs_test"
+  "funcs_test.pdb"
+  "funcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lroad_test.dir/lroad_test.cpp.o"
+  "CMakeFiles/lroad_test.dir/lroad_test.cpp.o.d"
+  "lroad_test"
+  "lroad_test.pdb"
+  "lroad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lroad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

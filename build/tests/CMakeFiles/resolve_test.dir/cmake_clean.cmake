@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolve_test.dir/resolve_test.cpp.o"
+  "CMakeFiles/resolve_test.dir/resolve_test.cpp.o.d"
+  "resolve_test"
+  "resolve_test.pdb"
+  "resolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsql_test.dir/scsql_test.cpp.o"
+  "CMakeFiles/scsql_test.dir/scsql_test.cpp.o.d"
+  "scsql_test"
+  "scsql_test.pdb"
+  "scsql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

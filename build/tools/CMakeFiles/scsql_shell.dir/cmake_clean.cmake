@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsql_shell.dir/scsql_shell.cpp.o"
+  "CMakeFiles/scsql_shell.dir/scsql_shell.cpp.o.d"
+  "scsql_shell"
+  "scsql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
