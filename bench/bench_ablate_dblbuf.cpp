@@ -17,20 +17,26 @@ int main() {
 
   const std::vector<std::uint64_t> buffer_sizes = {1000, 10000, 100000, 1000000};
 
+  std::vector<QueryPoint> points;
+  for (auto buf : buffer_sizes) {
+    const int arrays = arrays_for_buffer(buf);
+    const std::uint64_t payload = kArrayBytes * static_cast<std::uint64_t>(arrays);
+    for (int nb = 1; nb <= 4; ++nb) {
+      points.push_back({p2p_query(kArrayBytes, arrays), payload,
+                        scsq::hw::CostModel::lofar(), buf, nb,
+                        buf * 10 + static_cast<std::uint64_t>(nb)});
+    }
+  }
+  const auto stats = run_points(points);
+
   std::printf("%10s", "buffer(B)");
   for (int nb = 1; nb <= 4; ++nb) std::printf("    %d buffer(s)", nb);
   std::printf("   [Mbit/s]\n");
 
+  std::size_t k = 0;
   for (auto buf : buffer_sizes) {
-    const int arrays = arrays_for_buffer(buf);
-    const std::uint64_t payload = kArrayBytes * static_cast<std::uint64_t>(arrays);
     std::printf("%10llu", static_cast<unsigned long long>(buf));
-    for (int nb = 1; nb <= 4; ++nb) {
-      auto stats = repeat_query_mbps(p2p_query(kArrayBytes, arrays), payload,
-                                     scsq::hw::CostModel::lofar(), buf, nb,
-                                     buf * 10 + static_cast<std::uint64_t>(nb));
-      std::printf("  %12.1f", stats.mean());
-    }
+    for (int nb = 1; nb <= 4; ++nb) std::printf("  %12.1f", stats[k++].mean());
     std::printf("\n");
   }
   std::printf(

@@ -48,24 +48,30 @@ int main() {
       {"psetrr", "psetrr()", "1"},
       {"psetrr+urr", "psetrr()", "urr('be')"},
   };
+  const std::vector<int> ns = {1, 2, 4, 6, 8};
   const int arrays = quick_mode() ? 10 : kFullArrays;
+
+  std::vector<QueryPoint> points;
+  for (int n : ns) {
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(n) * kArrayBytes * static_cast<std::uint64_t>(arrays);
+    for (const auto& s : strategies) {
+      points.push_back({nodesel_query(s.b_alloc, s.a_alloc, n, kArrayBytes, arrays),
+                        payload, scsq::hw::CostModel::lofar(), 64 * 1024, 2,
+                        static_cast<std::uint64_t>(n * 131 + (s.b_alloc[0] ? 1 : 0) * 17 +
+                                                   (s.a_alloc[0] == 'u' ? 1 : 0) * 29)});
+    }
+  }
+  const auto stats = run_points(points);
 
   std::printf("%4s", "n");
   for (const auto& s : strategies) std::printf("  %14s", s.name);
   std::printf("   [Mbit/s]\n");
 
-  for (int n : {1, 2, 4, 6, 8}) {
+  std::size_t k = 0;
+  for (int n : ns) {
     std::printf("%4d", n);
-    const std::uint64_t payload =
-        static_cast<std::uint64_t>(n) * kArrayBytes * static_cast<std::uint64_t>(arrays);
-    for (const auto& s : strategies) {
-      auto stats = repeat_query_mbps(
-          nodesel_query(s.b_alloc, s.a_alloc, n, kArrayBytes, arrays), payload,
-          scsq::hw::CostModel::lofar(), 64 * 1024, 2,
-          static_cast<std::uint64_t>(n * 131 + (s.b_alloc[0] ? 1 : 0) * 17 +
-                                     (s.a_alloc[0] == 'u' ? 1 : 0) * 29));
-      std::printf("  %14.1f", stats.mean());
-    }
+    for (std::size_t j = 0; j < strategies.size(); ++j) std::printf("  %14.1f", stats[k++].mean());
     std::printf("\n");
   }
   std::printf(

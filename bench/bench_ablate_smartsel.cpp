@@ -10,6 +10,7 @@
 //            psets, like the best-performing Query 5 placement).
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "common.hpp"
 #include "exec/engine.hpp"
@@ -36,6 +37,7 @@ double run_with_selection(const std::string& query, std::uint64_t payload,
   cfg.exec.node_selection = sel;
   scsq::Scsq scsq(cfg);
   auto report = scsq.run(query);
+  scsq::bench::harness_count_events(scsq.sim().events_dispatched());
   return static_cast<double>(payload) * 8.0 / report.elapsed_s / 1e6;
 }
 
@@ -47,23 +49,33 @@ int main() {
 
   const int arrays = quick_mode() ? 10 : kFullArrays;
   const int reps = quick_mode() ? 2 : kRepetitions;
+  const std::vector<int> ns = {1, 2, 3, 4, 6, 8};
 
-  std::printf("%4s  %16s  %16s  %9s\n", "n", "naive Mbit/s", "spread Mbit/s", "speedup");
-  for (int n : {1, 2, 3, 4, 6, 8}) {
+  struct Row {
+    scsq::util::Stats naive, spread;
+  };
+  const auto rows = sweep(ns, [&](const int& n) {
     const auto query = unhinted_inbound_query(n, kArrayBytes, arrays);
     const std::uint64_t payload =
         static_cast<std::uint64_t>(n) * kArrayBytes * static_cast<std::uint64_t>(arrays);
-    scsq::util::Stats naive, spread;
+    Row row;
     for (int rep = 0; rep < reps; ++rep) {
       auto cost = jittered(scsq::hw::CostModel::lofar(),
                            static_cast<std::uint64_t>(n * 100 + rep));
-      naive.add(run_with_selection(query, payload, cost, scsq::exec::NodeSelection::kNaive));
-      spread.add(
+      row.naive.add(
+          run_with_selection(query, payload, cost, scsq::exec::NodeSelection::kNaive));
+      row.spread.add(
           run_with_selection(query, payload, cost, scsq::exec::NodeSelection::kSpread));
     }
-    std::printf("%4d  %9.1f ± %4.1f  %9.1f ± %4.1f  %8.2fx\n", n, naive.mean(),
-                naive.stdev(), spread.mean(), spread.stdev(),
-                spread.mean() / naive.mean());
+    return row;
+  });
+
+  std::printf("%4s  %16s  %16s  %9s\n", "n", "naive Mbit/s", "spread Mbit/s", "speedup");
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("%4d  %9.1f ± %4.1f  %9.1f ± %4.1f  %8.2fx\n", ns[i], r.naive.mean(),
+                r.naive.stdev(), r.spread.mean(), r.spread.stdev(),
+                r.spread.mean() / r.naive.mean());
   }
   std::printf(
       "\nExpected: equal at n=1; the spread strategy approaches the Query-5\n"

@@ -17,6 +17,7 @@
 //  * Q5 peaks around ~920 Mbit/s at n = 4 and dips at n = 5 (only four
 //    I/O nodes on the partition, so a fifth stream shares one).
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 
@@ -28,20 +29,28 @@ int main() {
   const int arrays = quick_mode() ? 10 : kFullArrays;
   const std::uint64_t buffer = 64 * 1024;  // TCP path: rely on stack buffering (§3)
 
+  std::vector<QueryPoint> points;
+  for (int n = 1; n <= max_n; ++n) {
+    for (int qn = 1; qn <= 6; ++qn) {
+      const std::uint64_t payload =
+          static_cast<std::uint64_t>(n) * kArrayBytes * static_cast<std::uint64_t>(arrays);
+      points.push_back({inbound_query(qn, n, kArrayBytes, arrays), payload,
+                        scsq::hw::CostModel::lofar(), buffer, /*send_buffers=*/2,
+                        static_cast<std::uint64_t>(qn * 1000 + n)});
+    }
+  }
+  const auto stats = run_points(points);
+
   std::printf("%4s", "n");
   for (int qn = 1; qn <= 6; ++qn) std::printf("  %16s", ("Query " + std::to_string(qn)).c_str());
   std::printf("   [Mbit/s, mean ± stdev]\n");
 
+  std::size_t k = 0;
   for (int n = 1; n <= max_n; ++n) {
     std::printf("%4d", n);
     for (int qn = 1; qn <= 6; ++qn) {
-      const auto query = inbound_query(qn, n, kArrayBytes, arrays);
-      const std::uint64_t payload =
-          static_cast<std::uint64_t>(n) * kArrayBytes * static_cast<std::uint64_t>(arrays);
-      auto stats = repeat_query_mbps(query, payload, scsq::hw::CostModel::lofar(), buffer,
-                                     /*send_buffers=*/2,
-                                     static_cast<std::uint64_t>(qn * 1000 + n));
-      std::printf("  %9.1f ± %4.1f", stats.mean(), stats.stdev());
+      const auto& s = stats[k++];
+      std::printf("  %9.1f ± %4.1f", s.mean(), s.stdev());
     }
     std::printf("\n");
   }

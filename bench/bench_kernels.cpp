@@ -97,6 +97,94 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput);
 
+// Heap path: 256 concurrent timers with staggered deadlines keep the
+// binary heap ~256 deep, measuring sift-up/down cost per event.
+void BM_EventQueueHeapChurn(benchmark::State& state) {
+  constexpr int kTimers = 256;
+  constexpr int kRounds = 64;
+  for (auto _ : state) {
+    scsq::sim::Simulator sim;
+    for (int t = 0; t < kTimers; ++t) {
+      sim.spawn([](scsq::sim::Simulator& s, int timer) -> scsq::sim::Task<void> {
+        for (int r = 0; r < kRounds; ++r) {
+          co_await s.delay(1e-6 * (1.0 + 0.001 * timer));
+        }
+      }(sim, t));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTimers * kRounds);
+}
+BENCHMARK(BM_EventQueueHeapChurn);
+
+// Same-timestamp fast path + O(1) notify_one: two coroutines ping-pong
+// through a pair of WaitQueues without simulated time ever advancing.
+// The responder spawns (and parks) first so no notify is ever dropped.
+void BM_WaitQueueWakeup(benchmark::State& state) {
+  constexpr int kRounds = 10'000;
+  for (auto _ : state) {
+    scsq::sim::Simulator sim;
+    scsq::sim::WaitQueue ping(sim), pong(sim);
+    sim.spawn([](scsq::sim::WaitQueue& p, scsq::sim::WaitQueue& q) -> scsq::sim::Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        co_await q.wait();
+        p.notify_one();
+      }
+    }(ping, pong));
+    sim.spawn([](scsq::sim::WaitQueue& p, scsq::sim::WaitQueue& q) -> scsq::sim::Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        q.notify_one();
+        co_await p.wait();
+      }
+    }(ping, pong));
+    sim.run();
+    benchmark::DoNotOptimize(sim.perf().wakeups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kRounds * 2);
+}
+BENCHMARK(BM_WaitQueueWakeup);
+
+// Deep waiter queue drained one grant at a time: the old vector-front
+// erase made this quadratic in the number of waiters.
+void BM_WaitQueueDeepDrain(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    scsq::sim::Simulator sim;
+    scsq::sim::WaitQueue wq(sim);
+    for (int i = 0; i < waiters; ++i) {
+      sim.spawn([](scsq::sim::WaitQueue& q) -> scsq::sim::Task<void> {
+        co_await q.wait();
+      }(wq));
+    }
+    sim.spawn([](scsq::sim::Simulator& s, scsq::sim::WaitQueue& q, int n) -> scsq::sim::Task<void> {
+      co_await s.delay(1.0);  // let every waiter park first
+      for (int i = 0; i < n; ++i) q.notify_one();
+    }(sim, wq, waiters));
+    sim.run();
+    benchmark::DoNotOptimize(sim.perf().wakeups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * waiters);
+}
+BENCHMARK(BM_WaitQueueDeepDrain)->Arg(1024)->Arg(16384);
+
+// Plain-callback path: the std::function bodies live in the reusable
+// slab, so steady-state scheduling is allocation-free.
+void BM_CallAtCallback(benchmark::State& state) {
+  constexpr int kCallbacks = 10'000;
+  for (auto _ : state) {
+    scsq::sim::Simulator sim;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kCallbacks; ++i) {
+      sim.call_at(1e-6 * i, [&sum, i] { sum += static_cast<std::uint64_t>(i); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kCallbacks);
+}
+BENCHMARK(BM_CallAtCallback);
+
 void BM_ChannelPingPong(benchmark::State& state) {
   for (auto _ : state) {
     scsq::sim::Simulator sim;

@@ -9,6 +9,7 @@
 // I/O-node path costs bandwidth, but the BlueGene offloads the back-end.
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "common.hpp"
 
@@ -24,6 +25,7 @@ double run_toll_pipeline(int vehicles, int ticks, const char* analysis_cluster,
     << " where b=sp(lr_tolls(extract(a), 5), '" << analysis_cluster << "')"
     << " and a=sp(lr_source(" << vehicles << "," << ticks << ",1), 'be');";
   auto report = scsq.run(q.str());
+  scsq::bench::harness_count_events(scsq.sim().events_dispatched());
   return static_cast<double>(vehicles) * ticks / report.elapsed_s;
 }
 
@@ -34,19 +36,29 @@ int main() {
   print_banner("Extension", "Linear-Road-lite toll pipeline throughput");
 
   const int ticks = quick_mode() ? 30 : 120;
-  std::printf("%10s  %20s  %20s   [reports/s]\n", "vehicles", "analysis on bg",
-              "analysis on be");
-  for (int vehicles : {50, 100, 200, 400, 800}) {
+  const int reps = quick_mode() ? 2 : kRepetitions;
+  const std::vector<int> vehicle_counts = {50, 100, 200, 400, 800};
+
+  struct Row {
     scsq::util::Stats bg, be;
-    const int reps = quick_mode() ? 2 : kRepetitions;
+  };
+  const auto rows = sweep(vehicle_counts, [&](const int& vehicles) {
+    Row row;
     for (int rep = 0; rep < reps; ++rep) {
       auto cost = jittered(scsq::hw::CostModel::lofar(),
                            static_cast<std::uint64_t>(vehicles * 10 + rep));
-      bg.add(run_toll_pipeline(vehicles, ticks, "bg", cost));
-      be.add(run_toll_pipeline(vehicles, ticks, "be", cost));
+      row.bg.add(run_toll_pipeline(vehicles, ticks, "bg", cost));
+      row.be.add(run_toll_pipeline(vehicles, ticks, "be", cost));
     }
-    std::printf("%10d  %13.0f ± %4.0f  %13.0f ± %4.0f\n", vehicles, bg.mean(), bg.stdev(),
-                be.mean(), be.stdev());
+    return row;
+  });
+
+  std::printf("%10s  %20s  %20s   [reports/s]\n", "vehicles", "analysis on bg",
+              "analysis on be");
+  for (std::size_t i = 0; i < vehicle_counts.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("%10d  %13.0f ± %4.0f  %13.0f ± %4.0f\n", vehicle_counts[i], r.bg.mean(),
+                r.bg.stdev(), r.be.mean(), r.be.stdev());
   }
   std::printf(
       "\nExpected: back-end placement avoids the I/O-node inbound path and wins\n"

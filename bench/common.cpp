@@ -1,11 +1,24 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 
 namespace scsq::bench {
 
+namespace {
+
+// Simulated events executed by runs since the last harness_begin().
+// Relaxed atomic: worker threads only ever add their own run's total.
+std::atomic<std::uint64_t> g_sim_events{0};
+std::chrono::steady_clock::time_point g_harness_start;
+
+}  // namespace
+
 bool quick_mode() { return std::getenv("SCSQ_BENCH_QUICK") != nullptr; }
+
+unsigned bench_threads() { return util::ThreadPool::default_threads(); }
 
 int arrays_for_buffer(std::uint64_t buffer_bytes) {
   const int full = quick_mode() ? 10 : kFullArrays;
@@ -39,6 +52,7 @@ double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
   cfg.exec.send_buffers = send_buffers;
   Scsq scsq(cfg);
   auto report = scsq.run(query);
+  g_sim_events.fetch_add(scsq.sim().events_dispatched(), std::memory_order_relaxed);
   SCSQ_CHECK(report.elapsed_s > 0.0) << "empty run";
   return static_cast<double>(payload_bytes) * 8.0 / report.elapsed_s / 1e6;
 }
@@ -53,6 +67,35 @@ util::Stats repeat_query_mbps(const std::string& query, std::uint64_t payload_by
     stats.add(run_query_mbps(query, payload_bytes, cost, buffer_bytes, send_buffers));
   }
   return stats;
+}
+
+void harness_count_events(std::uint64_t events) {
+  g_sim_events.fetch_add(events, std::memory_order_relaxed);
+}
+
+void harness_begin() {
+  g_sim_events.store(0, std::memory_order_relaxed);
+  g_harness_start = std::chrono::steady_clock::now();
+}
+
+void harness_end(std::size_t points) {
+  const auto elapsed = std::chrono::steady_clock::now() - g_harness_start;
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  const auto events = g_sim_events.load(std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "[harness] %zu sweep points on %u thread(s): %.2f s wall, "
+               "%llu simulated events, %.2fM events/s\n",
+               points, bench_threads(), wall_s,
+               static_cast<unsigned long long>(events),
+               wall_s > 0.0 ? static_cast<double>(events) / wall_s / 1e6 : 0.0);
+}
+
+std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
+  return sweep(points, [](const QueryPoint& p) {
+    return repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
+                             p.send_buffers, p.seed);
+  });
 }
 
 std::string p2p_query(std::uint64_t array_bytes, int arrays) {

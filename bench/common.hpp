@@ -12,15 +12,25 @@
 // workload is scaled down (bandwidth is a steady-state measure and does
 // not depend on stream length once past the ramp-up); the scaling is
 // printed with each table.
+//
+// Parallel sweeps: every sweep point runs on its own Simulator with its
+// own jittered CostModel, so points are independent and fan out across
+// SCSQ_BENCH_THREADS worker threads (default: hardware_concurrency;
+// =1 preserves strictly sequential execution). Results are collected in
+// point order, so tables are byte-identical regardless of thread count;
+// the wall-time/events-per-second harness summary goes to stderr to keep
+// stdout comparable.
 #pragma once
 
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/scsq.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scsq::bench {
 
@@ -31,6 +41,9 @@ inline constexpr int kRepetitions = 5;                   // paper: five runs
 /// True when SCSQ_BENCH_QUICK is set: shrink workloads for smoke runs.
 bool quick_mode();
 
+/// Sweep worker threads: SCSQ_BENCH_THREADS or hardware_concurrency.
+unsigned bench_threads();
+
 /// Number of arrays per producer such that one producer's stream is at
 /// most ~200k messages at this buffer size (full size when possible).
 int arrays_for_buffer(std::uint64_t buffer_bytes);
@@ -40,7 +53,8 @@ int arrays_for_buffer(std::uint64_t buffer_bytes);
 hw::CostModel jittered(hw::CostModel cost, std::uint64_t seed);
 
 /// Runs one query on a fresh simulated machine; returns Mbit/s of
-/// `payload_bytes` over the query's elapsed time.
+/// `payload_bytes` over the query's elapsed time. Thread-safe: each call
+/// owns its whole simulated environment.
 double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
                       const hw::CostModel& cost, std::uint64_t buffer_bytes,
                       int send_buffers);
@@ -49,6 +63,47 @@ double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
 util::Stats repeat_query_mbps(const std::string& query, std::uint64_t payload_bytes,
                               const hw::CostModel& base_cost, std::uint64_t buffer_bytes,
                               int send_buffers, std::uint64_t seed_base);
+
+// --- Parallel sweep harness ---
+
+/// One repeat_query_mbps invocation, described as data so a sweep can
+/// fan points across threads.
+struct QueryPoint {
+  std::string query;
+  std::uint64_t payload_bytes = 0;
+  hw::CostModel cost;
+  std::uint64_t buffer_bytes = 0;
+  int send_buffers = 1;
+  std::uint64_t seed = 0;
+};
+
+/// Starts the wall clock / simulated-event accounting for a sweep.
+void harness_begin();
+
+/// Prints the harness summary (points, threads, wall seconds, simulated
+/// events, events per wall second) for the sweep started by
+/// harness_begin. Goes to *stderr*: stdout tables stay byte-identical
+/// across thread counts while the perf numbers remain visible.
+void harness_end(std::size_t points);
+
+/// Adds externally-run Simulator events to the harness accounting (for
+/// benches that drive Scsq directly instead of via run_query_mbps).
+void harness_count_events(std::uint64_t events);
+
+/// Maps `fn` over `points` on bench_threads() workers with ordered
+/// result collection, bracketed by harness_begin/harness_end.
+template <class Point, class Fn>
+auto sweep(const std::vector<Point>& points, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, const Point&>> {
+  harness_begin();
+  auto results = util::run_sweep(points, std::move(fn), bench_threads());
+  harness_end(points.size());
+  return results;
+}
+
+/// Fans QueryPoints (each = one repeat_query_mbps) across threads;
+/// returns Stats in point order.
+std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points);
 
 // --- Query builders (the paper's SCSQL, parameterized) ---
 

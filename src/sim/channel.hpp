@@ -5,6 +5,9 @@
 // regulate the stream flow between them" — here, a bounded buffer whose
 // full condition suspends the sender is the equivalent backpressure
 // mechanism.
+//
+// Send/recv/wait counts feed the kernel's PerfCounters so benches can
+// report channel traffic per wall second alongside raw event throughput.
 #pragma once
 
 #include <deque>
@@ -20,7 +23,7 @@ class Channel {
  public:
   /// Capacity must be >= 1 (a zero-capacity rendezvous is not supported).
   Channel(Simulator& sim, std::size_t capacity)
-      : capacity_(capacity), senders_(sim), receivers_(sim) {
+      : sim_(&sim), capacity_(capacity), senders_(sim), receivers_(sim) {
     SCSQ_CHECK(capacity_ >= 1) << "channel capacity must be >= 1";
   }
 
@@ -31,8 +34,12 @@ class Channel {
   /// closed channel silently discards the value ("receiver gone" —
   /// query-stop teardown drops in-flight stream data this way).
   Task<void> send(T value) {
-    while (buffer_.size() >= capacity_ && !closed_) co_await senders_.wait();
+    while (buffer_.size() >= capacity_ && !closed_) {
+      sim_->count_channel_wait();
+      co_await senders_.wait();
+    }
     if (closed_) co_return;  // discard: the consumer has gone away
+    sim_->count_channel_send();
     buffer_.push_back(std::move(value));
     receivers_.notify_one();
     co_return;
@@ -43,6 +50,7 @@ class Channel {
   bool try_send(T value) {
     if (closed_) return true;
     if (buffer_.size() >= capacity_) return false;
+    sim_->count_channel_send();
     buffer_.push_back(std::move(value));
     receivers_.notify_one();
     return true;
@@ -53,10 +61,12 @@ class Channel {
   Task<std::optional<T>> recv() {
     while (buffer_.empty()) {
       if (closed_) co_return std::nullopt;
+      sim_->count_channel_wait();
       co_await receivers_.wait();
     }
     T value = std::move(buffer_.front());
     buffer_.pop_front();
+    sim_->count_channel_recv();
     senders_.notify_one();
     co_return std::optional<T>(std::move(value));
   }
@@ -75,6 +85,7 @@ class Channel {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  Simulator* sim_;
   std::size_t capacity_;
   bool closed_ = false;
   std::deque<T> buffer_;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace scsq::sim {
 
@@ -25,31 +26,100 @@ void Simulator::spawn(Task<void> task) {
   schedule_now(handle);
 }
 
-void Simulator::schedule_at(Time at, std::coroutine_handle<> h) {
-  SCSQ_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
-  queue_.push(Event{at, next_seq_++, h, nullptr});
-}
-
 void Simulator::call_at(Time at, std::function<void()> fn) {
   SCSQ_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
-  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    callbacks_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.push_back(std::move(fn));
+  }
+  const auto payload = (static_cast<std::uintptr_t>(slot) << 1) | 1u;
+  if (at == now_) {
+    push_fifo(payload);
+  } else {
+    push_heap(at, payload);
+  }
+}
+
+void Simulator::pop_heap_root() {
+  const std::size_t n = heap_.size() - 1;
+  if (n == 0) {
+    heap_.pop_back();
+    return;
+  }
+  // Hole-insertion sift-down: pull smaller children up, place the
+  // displaced last element once at the end.
+  const QueuedEvent last = heap_[n];
+  heap_.pop_back();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    std::size_t c = l;
+    const std::size_t r = l + 1;
+    if (r < n && event_less(heap_[r], heap_[l])) c = r;
+    if (!event_less(heap_[c], last)) break;
+    heap_[i] = heap_[c];
+    i = c;
+  }
+  heap_[i] = last;
+}
+
+void Simulator::run_callback(std::uintptr_t payload) {
+  const auto slot = static_cast<std::uint32_t>(payload >> 1);
+  auto fn = std::move(callbacks_[slot]);
+  callbacks_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  ++perf_.callbacks_run;
+  if (fn) fn();
 }
 
 Time Simulator::run(Time until) {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    if (ev.at > until) break;
-    queue_.pop();
-    now_ = ev.at;
-    ++events_dispatched_;
-    if (ev.handle) {
-      ev.handle.resume();
-    } else if (ev.callback) {
-      ev.callback();
+  for (;;) {
+    const std::size_t fifo_live = fifo_.size() - fifo_head_;
+    const std::size_t heap_size = heap_.size();
+    const std::uint64_t depth = heap_size + fifo_live;
+    if (depth > perf_.peak_queue_depth) perf_.peak_queue_depth = depth;
+    std::uintptr_t payload;
+    if (fifo_live != 0) {
+      // The FIFO only ever holds events stamped at now_, so it drains
+      // before time advances; a heap event at the same timestamp runs
+      // first only when it was scheduled earlier (smaller seq) —
+      // preserving the global FIFO order within a timestamp that the old
+      // single priority_queue provided.
+      if (now_ > until) break;
+      if (heap_size != 0 && heap_[0].at == now_ && heap_[0].seq < fifo_[fifo_head_].seq) {
+        payload = heap_[0].payload;
+        pop_heap_root();
+      } else {
+        payload = fifo_[fifo_head_].payload;
+        if (++fifo_head_ == fifo_.size()) {
+          fifo_.clear();
+          fifo_head_ = 0;
+        }
+      }
+    } else if (heap_size != 0) {
+      const Time at = heap_[0].at;
+      if (at > until) break;
+      payload = heap_[0].payload;
+      pop_heap_root();
+      now_ = at;
+    } else {
+      break;
+    }
+    ++perf_.events_dispatched;
+    if (payload & 1u) {
+      run_callback(payload);
+    } else {
+      std::coroutine_handle<>::from_address(reinterpret_cast<void*>(payload)).resume();
     }
     // Cheap periodic sweep so long simulations do not accumulate frames
     // of completed root processes.
-    if ((events_dispatched_ & 0x3FF) == 0) sweep_finished_roots();
+    if ((perf_.events_dispatched & 0x3FF) == 0) sweep_finished_roots();
   }
   sweep_finished_roots();
   return now_;

@@ -1,20 +1,32 @@
 // Discrete-event simulation kernel.
 //
-// The Simulator owns a priority queue of timestamped events (coroutine
-// resumptions or plain callbacks) and drives spawned root tasks until no
-// events remain. All SCSQ "hardware" (networks, CPUs, co-processors) is
-// modeled on top of this kernel; simulated time stands in for the
-// wall-clock measurements of the paper.
+// The Simulator owns a timestamped event queue (coroutine resumptions or
+// plain callbacks) and drives spawned root tasks until no events remain.
+// All SCSQ "hardware" (networks, CPUs, co-processors) is modeled on top
+// of this kernel; simulated time stands in for the wall-clock
+// measurements of the paper.
 //
-// Threading model: strictly single-threaded, run-to-completion. A resumed
-// coroutine runs until its next suspension; wake-ups always go through
-// schedule_* so there are no re-entrant resumptions.
+// Hot-path layout: a queued event is 24 bytes of POD — timestamp, FIFO
+// sequence number, and a type-punned payload word. Coroutine frame
+// addresses are at least 2-byte aligned, so the low payload bit tags the
+// rare plain-callback events, whose std::function lives in a reusable
+// side slab instead of inside every queue node. Events land either in a
+// binary min-heap over a reusable vector (timed events) or in an
+// index-advancing FIFO ring (events at exactly now(), the common case
+// for channel wake-ups), so the usual schedule_now/resume cycle never
+// touches the heap.
+//
+// Threading model: one Simulator is strictly single-threaded,
+// run-to-completion. A resumed coroutine runs until its next suspension;
+// wake-ups always go through schedule_* so there are no re-entrant
+// resumptions. *Distinct* Simulator instances are independent and may
+// run concurrently on different threads (the parallel sweep harness
+// relies on this).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -24,6 +36,23 @@ namespace scsq::sim {
 
 /// Simulated time in seconds.
 using Time = double;
+
+/// Event-loop statistics, maintained inline by the kernel. Every counter
+/// is a single register increment on a cache line the dispatch loop
+/// already owns, so keeping them always on costs nothing measurable; the
+/// accessor itself is a free inline reference. Benches divide
+/// events_dispatched by wall time to report simulated events per second.
+struct PerfCounters {
+  std::uint64_t events_dispatched = 0;  ///< total events run (heap + fifo)
+  std::uint64_t heap_pushes = 0;        ///< timed events (future timestamps)
+  std::uint64_t fifo_pushes = 0;        ///< same-timestamp fast-path events
+  std::uint64_t callbacks_run = 0;      ///< call_at dispatches (slab path)
+  std::uint64_t channel_sends = 0;      ///< Channel::send/try_send accepted
+  std::uint64_t channel_recvs = 0;      ///< Channel::recv values delivered
+  std::uint64_t channel_waits = 0;      ///< suspensions on full/empty channels
+  std::uint64_t wakeups = 0;            ///< WaitQueue/Event notify resumptions
+  std::uint64_t peak_queue_depth = 0;   ///< max outstanding events (heap+fifo)
+};
 
 class Simulator {
  public:
@@ -40,14 +69,23 @@ class Simulator {
   /// alive until it completes.
   void spawn(Task<void> task);
 
-  /// Schedules `h` to resume at absolute time `at` (>= now()).
-  void schedule_at(Time at, std::coroutine_handle<> h);
+  /// Schedules `h` to resume at absolute time `at` (>= now()). Events at
+  /// the current time take the FIFO fast path and skip the heap.
+  void schedule_at(Time at, std::coroutine_handle<> h) {
+    SCSQ_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
+    if (at == now_) {
+      push_fifo(encode(h));
+    } else {
+      push_heap(at, encode(h));
+    }
+  }
 
   /// Schedules `h` to resume at the current time, after already-queued
   /// same-time events (FIFO within a timestamp).
-  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+  void schedule_now(std::coroutine_handle<> h) { push_fifo(encode(h)); }
 
-  /// Schedules a plain callback at absolute time `at`.
+  /// Schedules a plain callback at absolute time `at`. The callable is
+  /// parked in a reusable slab; the queue node stays 24-byte POD.
   void call_at(Time at, std::function<void()> fn);
 
   /// Awaitable: suspends the awaiting coroutine for `dt` seconds
@@ -56,9 +94,9 @@ class Simulator {
     struct Awaiter {
       Simulator* sim;
       Time dt;
-      bool await_ready() const { return dt <= 0.0; }
+      bool await_ready() const noexcept { return dt <= 0.0; }
       void await_suspend(std::coroutine_handle<> h) { sim->schedule_at(sim->now_ + dt, h); }
-      void await_resume() const {}
+      void await_resume() const noexcept {}
     };
     return Awaiter{this, dt};
   }
@@ -73,29 +111,76 @@ class Simulator {
   std::size_t live_root_tasks() const;
 
   /// Total events dispatched so far (diagnostics / tests).
-  std::uint64_t events_dispatched() const { return events_dispatched_; }
+  std::uint64_t events_dispatched() const { return perf_.events_dispatched; }
+
+  /// Kernel event-loop counters (see PerfCounters). Zero-cost accessor.
+  const PerfCounters& perf() const { return perf_; }
+
+  // Instrumentation hooks for the sim primitives (Channel, WaitQueue).
+  // Inline single increments; not part of the user-facing API.
+  void count_channel_send() { ++perf_.channel_sends; }
+  void count_channel_recv() { ++perf_.channel_recvs; }
+  void count_channel_wait() { ++perf_.channel_waits; }
+  void count_wakeup() { ++perf_.wakeups; }
 
   static constexpr Time kNoLimit = 1e300;
 
  private:
-  struct Event {
+  // Low payload bit set => callback slab slot (index << 1 | 1);
+  // clear => coroutine frame address (aligned, low bit free).
+  struct QueuedEvent {
     Time at;
     std::uint64_t seq;  // tie-break: FIFO within equal timestamps
-    std::coroutine_handle<> handle;
-    std::function<void()> callback;
-
-    bool operator>(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
+    std::uintptr_t payload;
   };
 
+  static std::uintptr_t encode(std::coroutine_handle<> h) {
+    return reinterpret_cast<std::uintptr_t>(h.address());
+  }
+
+  static bool event_less(const QueuedEvent& a, const QueuedEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  // Peak queue depth is sampled at the top of the run() loop rather than
+  // on every push: depth only grows between two pops, so it is maximal
+  // exactly when the next event is about to be popped, and the loop top
+  // already has both container sizes in registers.
+  void push_fifo(std::uintptr_t payload) {
+    ++perf_.fifo_pushes;
+    fifo_.push_back(QueuedEvent{now_, next_seq_++, payload});
+  }
+
+  void push_heap(Time at, std::uintptr_t payload) {
+    ++perf_.heap_pushes;
+    const QueuedEvent ev{at, next_seq_++, payload};
+    heap_.push_back(ev);
+    // Hole-insertion sift-up: shift larger parents down, place once.
+    const std::size_t start = heap_.size() - 1;
+    std::size_t i = start;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!event_less(ev, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    if (i != start) heap_[i] = ev;
+  }
+
+  void pop_heap_root();
+
+  void run_callback(std::uintptr_t payload);
   void sweep_finished_roots();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t events_dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  PerfCounters perf_;
+  std::vector<QueuedEvent> heap_;  // binary min-heap, storage reused
+  std::vector<QueuedEvent> fifo_;  // events at now_, drained by fifo_head_
+  std::size_t fifo_head_ = 0;
+  std::vector<std::function<void()>> callbacks_;  // slab for call_at bodies
+  std::vector<std::uint32_t> free_slots_;         // recycled slab indices
   std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
 };
 
@@ -110,16 +195,19 @@ class Event {
   void set() {
     if (set_) return;
     set_ = true;
-    for (auto h : waiters_) sim_->schedule_now(h);
+    for (auto h : waiters_) {
+      sim_->count_wakeup();
+      sim_->schedule_now(h);
+    }
     waiters_.clear();
   }
 
   auto wait() {
     struct Awaiter {
       Event* ev;
-      bool await_ready() const { return ev->set_; }
+      bool await_ready() const noexcept { return ev->set_; }
       void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
-      void await_resume() const {}
+      void await_resume() const noexcept {}
     };
     return Awaiter{this};
   }
@@ -133,6 +221,11 @@ class Event {
 /// Condition-variable-like wait queue used to build channels.
 /// wait() suspends until notify_one()/notify_all(); waiters must re-check
 /// their condition after resuming (standard cv loop discipline).
+///
+/// The waiter list is an index-advancing ring: notify_one hands out
+/// waiters_[head_++] in O(1) instead of erasing the vector front, and the
+/// storage resets once the ring drains, so no wake-up path in the kernel
+/// is linear in the number of waiters.
 class WaitQueue {
  public:
   explicit WaitQueue(Simulator& sim) : sim_(&sim) {}
@@ -140,28 +233,37 @@ class WaitQueue {
   auto wait() {
     struct Awaiter {
       WaitQueue* wq;
-      bool await_ready() const { return false; }
+      bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) { wq->waiters_.push_back(h); }
-      void await_resume() const {}
+      void await_resume() const noexcept {}
     };
     return Awaiter{this};
   }
 
   void notify_one() {
-    if (waiters_.empty()) return;
-    sim_->schedule_now(waiters_.front());
-    waiters_.erase(waiters_.begin());
+    if (head_ == waiters_.size()) return;
+    sim_->count_wakeup();
+    sim_->schedule_now(waiters_[head_++]);
+    if (head_ == waiters_.size()) {
+      waiters_.clear();
+      head_ = 0;
+    }
   }
 
   void notify_all() {
-    for (auto h : waiters_) sim_->schedule_now(h);
+    for (std::size_t i = head_; i < waiters_.size(); ++i) {
+      sim_->count_wakeup();
+      sim_->schedule_now(waiters_[i]);
+    }
     waiters_.clear();
+    head_ = 0;
   }
 
-  std::size_t waiting() const { return waiters_.size(); }
+  std::size_t waiting() const { return waiters_.size() - head_; }
 
  private:
   Simulator* sim_;
+  std::size_t head_ = 0;  // oldest live waiter; entries before it are spent
   std::vector<std::coroutine_handle<>> waiters_;
 };
 

@@ -75,16 +75,19 @@ class [[nodiscard]] Task {
   Task& operator=(const Task&) = delete;
   ~Task() { destroy(); }
 
-  bool valid() const { return static_cast<bool>(handle_); }
-  bool done() const { return handle_ && handle_.done(); }
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
 
   /// Awaiting a task starts it; the awaiting coroutine resumes when the
   /// task completes, receiving its value (or rethrowing its exception).
-  auto operator co_await() && {
+  /// The awaiter's ready/suspend steps are noexcept so the compiler can
+  /// elide exception plumbing on every nested co_await (hot path: one
+  /// awaited child task per simulated message).
+  auto operator co_await() && noexcept {
     struct Awaiter {
       std::coroutine_handle<promise_type> handle;
-      bool await_ready() { return !handle || handle.done(); }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
         handle.promise().continuation = parent;
         return handle;  // symmetric transfer: start the child now
       }
@@ -98,10 +101,12 @@ class [[nodiscard]] Task {
     return Awaiter{handle_};
   }
 
-  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, nullptr); }
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, nullptr);
+  }
 
  private:
-  void destroy() {
+  void destroy() noexcept {
     if (handle_) {
       handle_.destroy();
       handle_ = nullptr;
@@ -134,14 +139,14 @@ class [[nodiscard]] Task<void> {
   Task& operator=(const Task&) = delete;
   ~Task() { destroy(); }
 
-  bool valid() const { return static_cast<bool>(handle_); }
-  bool done() const { return handle_ && handle_.done(); }
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
 
-  auto operator co_await() && {
+  auto operator co_await() && noexcept {
     struct Awaiter {
       std::coroutine_handle<promise_type> handle;
-      bool await_ready() { return !handle || handle.done(); }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
         handle.promise().continuation = parent;
         return handle;
       }
@@ -153,10 +158,12 @@ class [[nodiscard]] Task<void> {
     return Awaiter{handle_};
   }
 
-  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, nullptr); }
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, nullptr);
+  }
 
  private:
-  void destroy() {
+  void destroy() noexcept {
     if (handle_) {
       handle_.destroy();
       handle_ = nullptr;

@@ -3,14 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 namespace scsq::util {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_time_mutex;
-std::function<double()> g_time_source;  // guarded by g_time_mutex
+// Thread-local: each worker thread of a parallel sweep runs its own
+// Simulator, which installs its own simulated-time source. Thread
+// locality both removes a mutex from the logging path and keeps
+// concurrent simulators from clobbering each other's time prefix.
+thread_local std::function<double()> t_time_source;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,16 +35,12 @@ void set_log_level(LogLevel level) {
 }
 
 void set_log_time_source(std::function<double()> now_seconds) {
-  std::lock_guard lock(g_time_mutex);
-  g_time_source = std::move(now_seconds);
+  t_time_source = std::move(now_seconds);
 }
 
 void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
   double t = -1.0;
-  {
-    std::lock_guard lock(g_time_mutex);
-    if (g_time_source) t = g_time_source();
-  }
+  if (t_time_source) t = t_time_source();
   // Strip directories from __FILE__ for readable output.
   const char* base = file;
   for (const char* p = file; *p; ++p) {

@@ -29,6 +29,8 @@ void set_log_level(LogLevel level);
 
 /// Installs a function that renders the "current time" prefix for log
 /// lines (the simulator installs simulated time). Pass nullptr to reset.
+/// The source is thread-local: a Simulator running on a sweep worker
+/// thread only affects log lines emitted from that thread.
 void set_log_time_source(std::function<double()> now_seconds);
 
 /// Emits one formatted log line to stderr. Prefer the SCSQ_LOG macro.

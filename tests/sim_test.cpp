@@ -366,5 +366,142 @@ TEST(Simulator, DeadlockDetectedAsLiveRoots) {
   EXPECT_EQ(sim.live_root_tasks(), 1u);
 }
 
+// Events landing at the same timestamp through different paths — the
+// timed heap and the same-time FIFO fast path — must still dispatch in
+// global schedule (seq) order, exactly like the old single
+// priority_queue did.
+TEST(Simulator, HeapAndFifoMergeFifoWithinTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  // Both outer callbacks sit in the heap for t=1.0. The first one
+  // schedules a same-time event (FIFO path) that was nevertheless
+  // requested *after* the second heap event — so the heap event with the
+  // smaller sequence number must run before the FIFO event.
+  sim.call_at(1.0, [&] {
+    order.push_back(1);
+    sim.call_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.call_at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+// The classic spawn-order test, but across a time hop so the FIFO ring
+// is drained, cleared, and refilled at the new timestamp.
+TEST(Simulator, FifoOrderSurvivesTimeAdvance) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](Simulator& s, std::vector<int>& ord, int id) -> Task<void> {
+    ord.push_back(id);
+    co_await s.delay(2.0);
+    ord.push_back(id + 10);
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(proc(sim, order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 10, 11, 12, 13}));
+}
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrderAcrossRefills) {
+  Simulator sim;
+  WaitQueue wq(sim);
+  std::vector<int> order;
+  auto waiter = [](WaitQueue& q, std::vector<int>& ord, int id) -> Task<void> {
+    co_await q.wait();
+    ord.push_back(id);
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(wq, order, i));
+  sim.spawn([](Simulator& s, WaitQueue& q, std::vector<int>& ord,
+               auto waiterFn) -> Task<void> {
+    co_await s.delay(1.0);
+    q.notify_one();  // wakes 0; ring head advances past a live tail
+    co_await s.delay(1.0);
+    // New waiters arriving while older ones are still parked must queue
+    // behind them.
+    s.spawn(waiterFn(q, ord, 3));
+    co_await s.delay(1.0);
+    q.notify_one();  // 1
+    q.notify_one();  // 2
+    q.notify_one();  // 3
+  }(sim, wq, order, waiter));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(wq.waiting(), 0u);
+}
+
+TEST(WaitQueue, WaitingCountsOnlyLiveWaiters) {
+  Simulator sim;
+  WaitQueue wq(sim);
+  auto waiter = [](WaitQueue& q) -> Task<void> { co_await q.wait(); };
+  for (int i = 0; i < 4; ++i) sim.spawn(waiter(wq));
+  sim.run();
+  EXPECT_EQ(wq.waiting(), 4u);
+  wq.notify_one();
+  EXPECT_EQ(wq.waiting(), 3u);
+  wq.notify_all();
+  EXPECT_EQ(wq.waiting(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.live_root_tasks(), 0u);
+}
+
+TEST(Channel, CloseWhileSenderBlockedReleasesSender) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  bool sender_done = false;
+  sim.spawn([](Channel<int>& c, bool& done) -> Task<void> {
+    co_await c.send(1);  // fills the buffer
+    co_await c.send(2);  // blocks: buffer full, nobody receiving
+    done = true;         // woken by close(); the value is discarded
+  }(ch, sender_done));
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Task<void> {
+    co_await s.delay(1.0);
+    c.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_TRUE(sender_done);
+  EXPECT_EQ(sim.live_root_tasks(), 0u);
+  EXPECT_EQ(ch.size(), 1u);  // the first value stays buffered for drain
+}
+
+TEST(Simulator, PerfCountersTrackKernelActivity) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  sim.spawn([](Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 10; ++i) co_await c.send(i);
+    c.close();
+  }(ch));
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Task<void> {
+    while (true) {
+      co_await s.delay(0.001);  // slow consumer forces sender waits
+      if (!co_await c.recv()) break;
+    }
+  }(sim, ch));
+  sim.run();
+  const PerfCounters& pc = sim.perf();
+  EXPECT_EQ(pc.events_dispatched, sim.events_dispatched());
+  EXPECT_EQ(pc.channel_sends, 10u);
+  EXPECT_EQ(pc.channel_recvs, 10u);
+  EXPECT_GT(pc.channel_waits, 0u);   // sender blocked on the full buffer
+  EXPECT_GT(pc.wakeups, 0u);
+  EXPECT_GT(pc.heap_pushes, 0u);     // the consumer's timed delays
+  EXPECT_GT(pc.fifo_pushes, 0u);     // spawn + notify fast-path events
+  EXPECT_GE(pc.peak_queue_depth, 2u);
+  EXPECT_EQ(pc.events_dispatched, pc.heap_pushes + pc.fifo_pushes);
+}
+
+TEST(Simulator, CallAtSlabRecyclesAcrossManyCallbacks) {
+  Simulator sim;
+  std::uint64_t sum = 0;
+  sim.spawn([](Simulator& s, std::uint64_t& total) -> Task<void> {
+    for (int i = 0; i < 1000; ++i) {
+      s.call_at(s.now() + 0.5, [&total, i] { total += static_cast<std::uint64_t>(i); });
+      co_await s.delay(1.0);
+    }
+  }(sim, sum));
+  sim.run();
+  EXPECT_EQ(sum, 999u * 1000u / 2u);
+  EXPECT_EQ(sim.perf().callbacks_run, 1000u);
+}
+
 }  // namespace
 }  // namespace scsq::sim

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scsq::util {
 namespace {
@@ -117,6 +122,70 @@ TEST(Rng, JitterStaysPositive) {
   for (int i = 0; i < 1000; ++i) {
     EXPECT_GT(rng.jitter(0.5), 0.0);
   }
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });  // no locking needed
+  std::vector<std::size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  for (unsigned threads : {1u, 4u}) {
+    try {
+      parallel_for(16, threads, [](std::size_t i) {
+        if (i == 3 || i == 11) throw std::runtime_error("fail " + std::to_string(i));
+      });
+      FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail 3");
+    }
+  }
+}
+
+TEST(RunSweep, ResultsKeepPointOrderAcrossThreadCounts) {
+  std::vector<int> points(64);
+  std::iota(points.begin(), points.end(), 0);
+  auto sequential = run_sweep(points, [](const int& p) { return p * p; }, 1);
+  auto parallel = run_sweep(points, [](const int& p) { return p * p; }, 4);
+  EXPECT_EQ(sequential, parallel);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(sequential[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPoolDefaults, EnvOverrideWins) {
+  setenv("SCSQ_BENCH_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  setenv("SCSQ_BENCH_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 1u);
+  unsetenv("SCSQ_BENCH_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
 }
 
 }  // namespace

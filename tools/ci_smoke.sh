@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI smoke pass: build, run the unit/integration tests, then run every
+# bench in quick mode with two sweep worker threads so the parallel
+# harness path is exercised on every change.
+#
+# Usage: tools/ci_smoke.sh [build-dir]     (default: build)
+# Env:   SCSQ_TSAN=1 adds -DSCSQ_TSAN=ON (ThreadSanitizer build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+CMAKE_ARGS=()
+if [[ "${SCSQ_TSAN:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DSCSQ_TSAN=ON)
+fi
+
+cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD" -j"$(nproc)"
+(cd "$BUILD" && ctest --output-on-failure -j"$(nproc)")
+
+export SCSQ_BENCH_QUICK=1
+export SCSQ_BENCH_THREADS=2
+for b in fig6_p2p fig8_merge fig15_inbound \
+         ablate_coproc ablate_dblbuf ablate_nodesel ablate_smartsel \
+         linear_road; do
+  echo "== bench_$b (quick, 2 threads) =="
+  "$BUILD/bench/bench_$b" > /dev/null
+done
+
+# Kernel microbenchmarks: one fast shot each, just to prove they run.
+"$BUILD/bench/bench_kernels" --benchmark_filter='BM_(SimulatorEventThroughput|WaitQueueWakeup|ChannelPingPong)' > /dev/null
+
+echo "ci_smoke: OK"
