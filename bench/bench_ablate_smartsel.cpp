@@ -37,7 +37,7 @@ double run_with_selection(const std::string& query, std::uint64_t payload,
   cfg.exec.node_selection = sel;
   scsq::Scsq scsq(cfg);
   auto report = scsq.run(query);
-  scsq::bench::harness_count_events(scsq.sim().events_dispatched());
+  scsq::bench::harness_count_perf(scsq.sim().perf());
   return static_cast<double>(payload) * 8.0 / report.elapsed_s / 1e6;
 }
 

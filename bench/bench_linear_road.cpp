@@ -25,7 +25,7 @@ double run_toll_pipeline(int vehicles, int ticks, const char* analysis_cluster,
     << " where b=sp(lr_tolls(extract(a), 5), '" << analysis_cluster << "')"
     << " and a=sp(lr_source(" << vehicles << "," << ticks << ",1), 'be');";
   auto report = scsq.run(q.str());
-  scsq::bench::harness_count_events(scsq.sim().events_dispatched());
+  scsq::bench::harness_count_perf(scsq.sim().perf());
   return static_cast<double>(vehicles) * ticks / report.elapsed_s;
 }
 

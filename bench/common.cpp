@@ -4,6 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
+
+#include "sim/trace.hpp"
 
 namespace scsq::bench {
 
@@ -12,7 +16,26 @@ namespace {
 // Simulated events executed by runs since the last harness_begin().
 // Relaxed atomic: worker threads only ever add their own run's total.
 std::atomic<std::uint64_t> g_sim_events{0};
+std::atomic<std::uint64_t> g_wakeups{0};
+std::atomic<std::uint64_t> g_peak_queue_depth{0};
 std::chrono::steady_clock::time_point g_harness_start;
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
 
 }  // namespace
 
@@ -45,26 +68,43 @@ hw::CostModel jittered(hw::CostModel cost, std::uint64_t seed) {
 
 double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
                       const hw::CostModel& cost, std::uint64_t buffer_bytes,
-                      int send_buffers) {
+                      int send_buffers, RunCapture* capture) {
   ScsqConfig cfg;
   cfg.cost = cost;
   cfg.exec.buffer_bytes = buffer_bytes;
   cfg.exec.send_buffers = send_buffers;
   Scsq scsq(cfg);
+  sim::Trace trace;
+  if (capture && capture->want_trace) scsq.machine().set_trace(&trace);
   auto report = scsq.run(query);
-  g_sim_events.fetch_add(scsq.sim().events_dispatched(), std::memory_order_relaxed);
+  harness_count_perf(scsq.sim().perf());
+  if (capture) {
+    // Post-run: snapshotting cannot perturb the simulated timing above.
+    scsq.machine().publish_metrics();
+    std::ostringstream os;
+    scsq.machine().metrics().write_json(os);
+    capture->metrics_json = os.str();
+    if (capture->want_trace) {
+      std::ostringstream ts;
+      trace.write_json(ts);
+      capture->trace_json = ts.str();
+    }
+  }
   SCSQ_CHECK(report.elapsed_s > 0.0) << "empty run";
   return static_cast<double>(payload_bytes) * 8.0 / report.elapsed_s / 1e6;
 }
 
 util::Stats repeat_query_mbps(const std::string& query, std::uint64_t payload_bytes,
                               const hw::CostModel& base_cost, std::uint64_t buffer_bytes,
-                              int send_buffers, std::uint64_t seed_base) {
+                              int send_buffers, std::uint64_t seed_base,
+                              RunCapture* capture) {
   util::Stats stats;
   const int reps = quick_mode() ? 2 : kRepetitions;
   for (int rep = 0; rep < reps; ++rep) {
     auto cost = jittered(base_cost, seed_base + static_cast<std::uint64_t>(rep) * 7919);
-    stats.add(run_query_mbps(query, payload_bytes, cost, buffer_bytes, send_buffers));
+    RunCapture* rep_capture = (capture && rep == reps - 1) ? capture : nullptr;
+    stats.add(run_query_mbps(query, payload_bytes, cost, buffer_bytes, send_buffers,
+                             rep_capture));
   }
   return stats;
 }
@@ -73,8 +113,21 @@ void harness_count_events(std::uint64_t events) {
   g_sim_events.fetch_add(events, std::memory_order_relaxed);
 }
 
+void harness_count_perf(const sim::PerfCounters& perf) {
+  g_sim_events.fetch_add(perf.events_dispatched, std::memory_order_relaxed);
+  g_wakeups.fetch_add(perf.wakeups, std::memory_order_relaxed);
+  // Running max (no fetch_max before C++26): CAS until ours is not larger.
+  std::uint64_t seen = g_peak_queue_depth.load(std::memory_order_relaxed);
+  while (perf.peak_queue_depth > seen &&
+         !g_peak_queue_depth.compare_exchange_weak(seen, perf.peak_queue_depth,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
 void harness_begin() {
   g_sim_events.store(0, std::memory_order_relaxed);
+  g_wakeups.store(0, std::memory_order_relaxed);
+  g_peak_queue_depth.store(0, std::memory_order_relaxed);
   g_harness_start = std::chrono::steady_clock::now();
 }
 
@@ -85,17 +138,89 @@ void harness_end(std::size_t points) {
   const auto events = g_sim_events.load(std::memory_order_relaxed);
   std::fprintf(stderr,
                "[harness] %zu sweep points on %u thread(s): %.2f s wall, "
-               "%llu simulated events, %.2fM events/s\n",
+               "%llu simulated events, %.2fM events/s, "
+               "peak queue depth %llu, %llu wakeups\n",
                points, bench_threads(), wall_s,
                static_cast<unsigned long long>(events),
-               wall_s > 0.0 ? static_cast<double>(events) / wall_s / 1e6 : 0.0);
+               wall_s > 0.0 ? static_cast<double>(events) / wall_s / 1e6 : 0.0,
+               static_cast<unsigned long long>(
+                   g_peak_queue_depth.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(g_wakeups.load(std::memory_order_relaxed)));
 }
 
+namespace {
+
+// First run_points of the process truncates SCSQ_METRICS_OUT; later
+// sweeps (a bench with several tables) append to the same file.
+void write_metrics_jsonl(const char* path, const std::vector<QueryPoint>& points,
+                         const std::vector<util::Stats>& stats,
+                         const std::vector<RunCapture>& captures) {
+  static bool truncated = false;
+  std::ofstream out(path, truncated ? std::ios::app : std::ios::trunc);
+  truncated = true;
+  if (!out) {
+    std::fprintf(stderr, "[harness] cannot open SCSQ_METRICS_OUT=%s\n", path);
+    return;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::string q;
+    append_json_escaped(q, p.query);
+    std::ostringstream line;
+    line << std::setprecision(17);
+    line << "{\"point\":" << i << ",\"query\":\"" << q << "\""
+         << ",\"payload_bytes\":" << p.payload_bytes
+         << ",\"buffer_bytes\":" << p.buffer_bytes
+         << ",\"send_buffers\":" << p.send_buffers << ",\"seed\":" << p.seed
+         << ",\"mbps_mean\":" << stats[i].mean() << ",\"mbps_stdev\":" << stats[i].stdev()
+         << ",\"metrics\":" << captures[i].metrics_json << "}";
+    out << line.str() << "\n";
+  }
+}
+
+}  // namespace
+
 std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
-  return sweep(points, [](const QueryPoint& p) {
-    return repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
-                             p.send_buffers, p.seed);
+  const char* metrics_path = std::getenv("SCSQ_METRICS_OUT");
+  const char* trace_path = std::getenv("SCSQ_TRACE_OUT");
+  if (!metrics_path && !trace_path) {
+    return sweep(points, [](const QueryPoint& p) {
+      return repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
+                               p.send_buffers, p.seed);
+    });
+  }
+
+  struct PointOut {
+    util::Stats stats;
+    RunCapture capture;
+  };
+  const QueryPoint* first = points.data();
+  auto outs = sweep(points, [&](const QueryPoint& p) {
+    PointOut out;
+    out.capture.want_trace = trace_path != nullptr && &p == first;
+    out.stats = repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
+                                  p.send_buffers, p.seed, &out.capture);
+    return out;
   });
+
+  std::vector<util::Stats> stats;
+  std::vector<RunCapture> captures;
+  stats.reserve(outs.size());
+  captures.reserve(outs.size());
+  for (auto& o : outs) {
+    stats.push_back(std::move(o.stats));
+    captures.push_back(std::move(o.capture));
+  }
+  if (metrics_path) write_metrics_jsonl(metrics_path, points, stats, captures);
+  if (trace_path && !captures.empty() && !captures.front().trace_json.empty()) {
+    std::ofstream out(trace_path, std::ios::trunc);
+    if (out) {
+      out << captures.front().trace_json;
+    } else {
+      std::fprintf(stderr, "[harness] cannot open SCSQ_TRACE_OUT=%s\n", trace_path);
+    }
+  }
+  return stats;
 }
 
 std::string p2p_query(std::uint64_t array_bytes, int arrays) {

@@ -52,17 +52,31 @@ int arrays_for_buffer(std::uint64_t buffer_bytes);
 /// hardware variation across repetitions.
 hw::CostModel jittered(hw::CostModel cost, std::uint64_t seed);
 
+/// Opt-in capture of observability artifacts from one simulated run:
+/// after the run the machine's metrics registry is published and
+/// serialized to JSON, and (when want_trace) a Chrome trace is recorded.
+/// Capturing happens after sim.run() returns, so timing results and the
+/// stdout tables are unaffected.
+struct RunCapture {
+  bool want_trace = false;   ///< record a Chrome/Perfetto trace of the run
+  std::string metrics_json;  ///< registry snapshot (obs JSON export)
+  std::string trace_json;    ///< Chrome tracing JSON (when want_trace)
+};
+
 /// Runs one query on a fresh simulated machine; returns Mbit/s of
 /// `payload_bytes` over the query's elapsed time. Thread-safe: each call
-/// owns its whole simulated environment.
+/// owns its whole simulated environment. `capture`, when non-null, is
+/// filled with the run's metrics snapshot (and trace if requested).
 double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
                       const hw::CostModel& cost, std::uint64_t buffer_bytes,
-                      int send_buffers);
+                      int send_buffers, RunCapture* capture = nullptr);
 
 /// Repeats run_query_mbps kRepetitions times with jittered cost models.
+/// `capture` applies to the last repetition only (one snapshot per point).
 util::Stats repeat_query_mbps(const std::string& query, std::uint64_t payload_bytes,
                               const hw::CostModel& base_cost, std::uint64_t buffer_bytes,
-                              int send_buffers, std::uint64_t seed_base);
+                              int send_buffers, std::uint64_t seed_base,
+                              RunCapture* capture = nullptr);
 
 // --- Parallel sweep harness ---
 
@@ -90,6 +104,10 @@ void harness_end(std::size_t points);
 /// benches that drive Scsq directly instead of via run_query_mbps).
 void harness_count_events(std::uint64_t events);
 
+/// Full-counter variant: also aggregates wakeups and the peak event-queue
+/// depth across sweep points into the harness summary.
+void harness_count_perf(const sim::PerfCounters& perf);
+
 /// Maps `fn` over `points` on bench_threads() workers with ordered
 /// result collection, bracketed by harness_begin/harness_end.
 template <class Point, class Fn>
@@ -103,6 +121,15 @@ auto sweep(const std::vector<Point>& points, Fn fn)
 
 /// Fans QueryPoints (each = one repeat_query_mbps) across threads;
 /// returns Stats in point order.
+///
+/// Observability side channels (both leave stdout byte-identical):
+///  * SCSQ_METRICS_OUT=<path>: appends one JSON-lines record per sweep
+///    point — the point's parameters, mean/stdev Mbit/s, and the full
+///    metrics-registry snapshot of the point's last repetition (per-link
+///    byte counters, frame-latency histograms, per-hop utilization...).
+///    The first run_points call of the process truncates the file.
+///  * SCSQ_TRACE_OUT=<path>: writes a Chrome/Perfetto trace of the first
+///    sweep point's last repetition.
 std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points);
 
 // --- Query builders (the paper's SCSQL, parameterized) ---

@@ -142,13 +142,30 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
     s.loc = rp->loc;
     s.query = rp->query ? rp->query->to_string() : "<client manager>";
     s.elements_out = rp->elements_out;
-    for (const auto& tx : rp->senders) s.bytes_sent += tx->bytes_sent();
+    for (const auto& tx : rp->senders) {
+      s.bytes_sent += tx->bytes_sent();
+      s.stall_s += tx->stall_seconds();
+    }
     for (const auto& rx : rp->receivers) s.bytes_received += rx->bytes_received();
+    publish_rp_metrics(s);
     report.rps.push_back(std::move(s));
   }
   report.rp_count = rps_.size();
   report.stopped |= stop_requested_;
+  machine_->metrics().gauge("engine.setup_s").set(report.setup_s);
+  machine_->metrics().gauge("engine.elapsed_s").set(report.elapsed_s);
+  machine_->metrics().gauge("engine.rp_count").set(static_cast<double>(report.rp_count));
   return report;
+}
+
+void Engine::publish_rp_metrics(const RpStat& s) {
+  auto& registry = machine_->metrics();
+  const obs::Labels labels{{"rp", std::to_string(s.id)}, {"loc", s.loc.to_string()}};
+  registry.gauge("engine.rp.elements_out", labels).set(static_cast<double>(s.elements_out));
+  registry.gauge("engine.rp.bytes_sent", labels).set(static_cast<double>(s.bytes_sent));
+  registry.gauge("engine.rp.bytes_received", labels)
+      .set(static_cast<double>(s.bytes_received));
+  registry.gauge("engine.rp.stall_s", labels).set(s.stall_s);
 }
 
 // ---------------------------------------------------------------------
@@ -195,12 +212,20 @@ sim::Task<void> Engine::execute(ExprPtr query, RunReport* report) {
     Rp& cm = make_rp(hw::Location{hw::kFrontEnd, 0},
                      filters_hold ? result_expr : nullptr, env, /*is_client=*/true);
 
+    const double bind_done = sim.now();
+    if (auto* trace = machine_->trace()) {
+      trace->interval("engine", "bind", t0, bind_done);
+    }
+
     // Compile every RP's subquery into its SQEP; extract()/merge() calls
     // wire the stream connections as a side effect.
     for (auto& rp : rps_) {
       if (rp->query) wire_rp(*rp);
     }
     report->setup_s = sim.now() - t0;
+    if (auto* trace = machine_->trace()) {
+      trace->interval("engine", "wire", bind_done, sim.now());
+    }
 
     for (auto& rp : rps_) {
       if (rp->id != cm.id) sim.spawn(run_rp(*rp));
@@ -208,6 +233,9 @@ sim::Task<void> Engine::execute(ExprPtr query, RunReport* report) {
     co_await run_rp(cm);
     co_await cm.done->wait();
     report->elapsed_s = sim.now() - t0;
+    if (auto* trace = machine_->trace()) {
+      trace->interval("engine", "run", report->setup_s + t0, sim.now());
+    }
   } catch (...) {
     if (!error_) error_ = std::current_exception();
   }
@@ -501,6 +529,10 @@ transport::ReceiverDriver& Engine::connect(const SpHandle& producer_handle, Rp& 
   auto& rx = *consumer.receivers.back();
   auto link = transport::make_link(*machine_, producer.loc, consumer.loc, rx.inbox(),
                                    producer.id);
+  if (auto* trace = machine_->trace()) {
+    link->set_flow_trace(trace, "rp" + std::to_string(producer.id),
+                         "rp" + std::to_string(consumer.id));
+  }
   producer.senders.push_back(std::make_unique<transport::SenderDriver>(
       machine_->sim(), driver_params_for(producer.loc), machine_->cpu_of(producer.loc),
       std::move(link), producer.id));
@@ -509,12 +541,21 @@ transport::ReceiverDriver& Engine::connect(const SpHandle& producer_handle, Rp& 
 }
 
 sim::Task<void> Engine::run_rp(Rp& rp) {
+  auto* trace = machine_->trace();
+  const std::string track = "rp" + std::to_string(rp.id);
+  if (trace) trace->instant(track, "start", machine_->sim().now());
   try {
     if (rp.root != nullptr) {
       while (!stop_requested_) {
         auto obj = co_await rp.root->next();
         if (!obj) break;
         rp.elements_out += 1;
+        // Sampled, not per-element: an unthrottled counter track would
+        // dominate the trace for multi-thousand-element streams.
+        if (trace && (rp.elements_out & 0x3F) == 0) {
+          trace->counter(track, "elements_out", machine_->sim().now(),
+                         static_cast<double>(rp.elements_out));
+        }
         if (rp.is_client) {
           SCSQ_CHECK(results_sink_ != nullptr) << "no active result sink";
           results_sink_->push_back(std::move(*obj));
@@ -538,6 +579,11 @@ sim::Task<void> Engine::run_rp(Rp& rp) {
     for (auto& s : rp.senders) co_await s->finish();
   } catch (...) {
     if (!error_) error_ = std::current_exception();
+  }
+  if (trace) {
+    trace->counter(track, "elements_out", machine_->sim().now(),
+                   static_cast<double>(rp.elements_out));
+    trace->instant(track, "done", machine_->sim().now());
   }
   rp.done->set();
 }

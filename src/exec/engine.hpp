@@ -80,6 +80,7 @@ struct RpStat {
   std::uint64_t elements_out = 0;  // objects emitted by the SQEP root
   std::uint64_t bytes_sent = 0;    // over all subscriber connections
   std::uint64_t bytes_received = 0;
+  double stall_s = 0.0;  // time blocked waiting for a free send buffer
 };
 
 struct RunReport {
@@ -160,6 +161,7 @@ class Engine {
   transport::ReceiverDriver& connect(const catalog::SpHandle& producer, Rp& consumer);
   Rp& find_rp(std::uint64_t id);
   sim::Task<void> run_rp(Rp& rp);
+  void publish_rp_metrics(const RpStat& stat);
 
   /// Stops the CQ: future RP loop iterations terminate and all inboxes
   /// close, discarding in-flight stream data (the control-message

@@ -1,5 +1,7 @@
 #include "hw/machine.hpp"
 
+#include "obs/sim_bridge.hpp"
+
 namespace scsq::hw {
 
 LinuxCluster::LinuxCluster(sim::Simulator& sim, net::EthernetFabric& fabric,
@@ -102,7 +104,14 @@ double Machine::io_coordination_factor() const {
   return 1.0 + cost_.io_coord_coeff * static_cast<double>(senders - 1);
 }
 
+void Machine::publish_metrics() {
+  bg_->torus().publish_metrics(metrics_);
+  bg_->tree().publish_metrics(metrics_);
+  obs::bridge_sim_perf(metrics_, sim_->perf());
+}
+
 void Machine::set_trace(sim::Trace* trace) {
+  trace_ = trace;
   for (int r = 0; r < bg_->compute_node_count(); ++r) {
     bg_->torus().coproc(r).set_trace(trace);
     bg_->compute_cpu(r).set_trace(trace);

@@ -19,6 +19,7 @@
 #include "hw/cost_model.hpp"
 #include "hw/location.hpp"
 #include "net/ethernet.hpp"
+#include "obs/metrics.hpp"
 #include "net/topology.hpp"
 #include "net/torus_net.hpp"
 #include "net/tree_net.hpp"
@@ -123,8 +124,25 @@ class Machine {
   /// Attaches a trace to the interesting contended resources (BlueGene
   /// co-processors and compute CPUs, I/O-node CPUs, tree links, cluster
   /// CPUs and NICs). Pass nullptr to detach. Busy episodes then appear
-  /// on per-resource tracks in the Chrome tracing export.
+  /// on per-resource tracks in the Chrome tracing export. The engine and
+  /// transport layer read the attached trace back via trace() to add
+  /// stream-process lifecycle instants and frame flow arrows.
   void set_trace(sim::Trace* trace);
+
+  /// The trace attached by set_trace (nullptr when tracing is off).
+  sim::Trace* trace() { return trace_; }
+
+  // --- Metrics ---
+
+  /// The environment-wide metrics registry. Always present; instruments
+  /// (links, drivers, engine) register labeled counters at wiring time.
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Publishes the pull-style metrics that are not maintained
+  /// incrementally: per-hop torus/tree utilization and busy seconds, and
+  /// the simulation kernel's PerfCounters. Call right before
+  /// snapshotting the registry (exporters, bench records, \metrics).
+  void publish_metrics();
 
  private:
   sim::Simulator* sim_;
@@ -134,6 +152,8 @@ class Machine {
   std::unique_ptr<LinuxCluster> be_;
   std::unique_ptr<BlueGene> bg_;
   std::vector<int> bg_inbound_streams_;  // per compute rank
+  obs::Registry metrics_;
+  sim::Trace* trace_ = nullptr;
 };
 
 }  // namespace scsq::hw

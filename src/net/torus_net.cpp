@@ -66,6 +66,29 @@ void TorusNetwork::unregister_inbound_stream(int node) {
   n -= 1;
 }
 
+void TorusNetwork::publish_metrics(obs::Registry& registry) const {
+  registry.counter("torus.messages").set_total(messages_);
+  registry.counter("torus.packets").set_total(packets_);
+  registry.counter("torus.rendezvous_messages").set_total(rendezvous_messages_);
+  registry.counter("torus.payload_bytes").set_total(payload_bytes_);
+  const int n = topology_.node_count();
+  for (const auto& [key, link] : links_) {
+    const int from = static_cast<int>(key / static_cast<std::uint64_t>(n));
+    const int to = static_cast<int>(key % static_cast<std::uint64_t>(n));
+    obs::Labels labels{{"from", std::to_string(from)}, {"to", std::to_string(to)}};
+    registry.gauge("torus.link.busy_s", labels).set(link->busy_seconds());
+    registry.gauge("torus.link.utilization", labels).set(link->utilization());
+  }
+  for (int node = 0; node < n; ++node) {
+    const double busy = coprocs_[static_cast<std::size_t>(node)]->busy_seconds();
+    if (busy <= 0.0) continue;  // 512 idle co-processors would drown the snapshot
+    obs::Labels labels{{"node", std::to_string(node)}};
+    registry.gauge("torus.coproc.busy_s", labels).set(busy);
+    registry.gauge("torus.coproc.utilization", labels)
+        .set(coprocs_[static_cast<std::size_t>(node)]->utilization());
+  }
+}
+
 double TorusNetwork::link_busy_seconds(int from, int to) const {
   const std::uint64_t key =
       static_cast<std::uint64_t>(from) * static_cast<std::uint64_t>(topology_.node_count()) +
@@ -96,6 +119,11 @@ sim::Task<void> TorusNetwork::transmit_impl(int from, int to, std::uint64_t payl
   const double rendezvous = payload_bytes > params_.eager_limit_bytes
                                 ? params_.rendezvous_rtt_per_hop_s * std::max(hops, 1)
                                 : 0.0;
+
+  messages_ += 1;
+  packets_ += npkt;
+  payload_bytes_ += payload_bytes;
+  if (rendezvous > 0.0) rendezvous_messages_ += 1;
 
   // Sender co-processor: per-message overhead, rendezvous handshake (the
   // co-processor is busy during the handshake), per-packet handling.

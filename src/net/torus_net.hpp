@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -119,6 +120,16 @@ class TorusNetwork {
   /// Busy seconds of a directed link so far (0 if never used).
   double link_busy_seconds(int from, int to) const;
 
+  /// Publishes per-hop utilization and message/packet totals into the
+  /// registry: torus.link.busy_s / torus.link.utilization gauges per
+  /// *used* directed link (labeled from/to), torus.coproc.busy_s per
+  /// busy co-processor, and torus.messages / torus.packets /
+  /// torus.rendezvous_messages / torus.payload_bytes counters. The
+  /// per-message totals are kept as plain members on the transmit path
+  /// (single increments) and copied over here, so transmissions never
+  /// touch the registry.
+  void publish_metrics(obs::Registry& registry) const;
+
  private:
   sim::Resource& link(int from, int to);
   sim::Task<void> transmit_impl(int from, int to, std::uint64_t payload_bytes,
@@ -133,6 +144,11 @@ class TorusNetwork {
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Resource>> links_;
   // Live inbound stream count per node (source-switch expectation).
   std::vector<int> inbound_streams_;
+  // Cumulative transmit totals (see publish_metrics).
+  std::uint64_t messages_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t rendezvous_messages_ = 0;
+  std::uint64_t payload_bytes_ = 0;
 };
 
 }  // namespace scsq::net

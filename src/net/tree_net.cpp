@@ -19,10 +19,36 @@ TreeNetwork::TreeNetwork(sim::Simulator& sim, int pset_count, int compute_count,
   }
 }
 
+void TreeNetwork::publish_metrics(obs::Registry& registry) const {
+  registry.counter("tree.inbound_messages").set_total(inbound_messages_);
+  registry.counter("tree.inbound_bytes").set_total(inbound_bytes_);
+  registry.counter("tree.outbound_messages").set_total(outbound_messages_);
+  registry.counter("tree.outbound_bytes").set_total(outbound_bytes_);
+  for (std::size_t p = 0; p < io_cpus_.size(); ++p) {
+    if (io_cpus_[p]->busy_seconds() <= 0.0 && tree_links_[p]->busy_seconds() <= 0.0) {
+      continue;
+    }
+    obs::Labels labels{{"pset", std::to_string(p)}};
+    registry.gauge("tree.io_cpu.busy_s", labels).set(io_cpus_[p]->busy_seconds());
+    registry.gauge("tree.io_cpu.utilization", labels).set(io_cpus_[p]->utilization());
+    registry.gauge("tree.link.busy_s", labels).set(tree_links_[p]->busy_seconds());
+    registry.gauge("tree.link.utilization", labels).set(tree_links_[p]->utilization());
+  }
+  for (std::size_t r = 0; r < ingest_.size(); ++r) {
+    const double busy = ingest_[r]->busy_seconds();
+    if (busy <= 0.0) continue;
+    obs::Labels labels{{"node", std::to_string(r)}};
+    registry.gauge("tree.ingest.busy_s", labels).set(busy);
+    registry.gauge("tree.ingest.utilization", labels).set(ingest_[r]->utilization());
+  }
+}
+
 sim::Task<void> TreeNetwork::forward_inbound(int pset, int compute_rank,
                                              std::uint64_t bytes, double io_factor,
                                              double compute_factor) {
   SCSQ_CHECK(io_factor >= 1.0 && compute_factor >= 1.0) << "cost factors must be >= 1";
+  inbound_messages_ += 1;
+  inbound_bytes_ += bytes;
   const double b = static_cast<double>(bytes);
   // CIOD copies the payload from its socket into the tree device.
   co_await io_cpu(pset).use(params_.io_per_message_overhead_s +
@@ -38,6 +64,8 @@ sim::Task<void> TreeNetwork::forward_inbound(int pset, int compute_rank,
 sim::Task<void> TreeNetwork::forward_outbound(int pset, int compute_rank,
                                               std::uint64_t bytes, double io_factor) {
   SCSQ_CHECK(io_factor >= 1.0) << "cost factors must be >= 1";
+  outbound_messages_ += 1;
+  outbound_bytes_ += bytes;
   const double b = static_cast<double>(bytes);
   co_await compute_ingest(compute_rank)
       .use(params_.compute_per_message_overhead_s + b * params_.compute_recv_per_byte_s);

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -62,12 +63,23 @@ class TreeNetwork {
   int pset_count() const { return static_cast<int>(io_cpus_.size()); }
   const TreeParams& params() const { return params_; }
 
+  /// Publishes per-hop utilization into the registry: tree.io_cpu.* and
+  /// tree.link.* gauges per pset, tree.ingest.* per compute node with
+  /// traffic, and tree.inbound/outbound message+byte counters. Message
+  /// totals are plain member increments on the forward path; the
+  /// registry is only touched here.
+  void publish_metrics(obs::Registry& registry) const;
+
  private:
   sim::Simulator* sim_;
   TreeParams params_;
   std::vector<std::unique_ptr<sim::Resource>> io_cpus_;
   std::vector<std::unique_ptr<sim::Resource>> tree_links_;
   std::vector<std::unique_ptr<sim::Resource>> ingest_;
+  std::uint64_t inbound_messages_ = 0;
+  std::uint64_t inbound_bytes_ = 0;
+  std::uint64_t outbound_messages_ = 0;
+  std::uint64_t outbound_bytes_ = 0;
 };
 
 }  // namespace scsq::net

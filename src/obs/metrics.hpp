@@ -1,0 +1,152 @@
+// Unified metrics registry for the SCSQ stack.
+//
+// One Registry per simulated environment (the hw::Machine owns it) holds
+// every labeled counter, gauge, and histogram the stack reports through:
+// per-link transport counters, per-RP engine gauges, per-hop network
+// utilization, and the simulation kernel's PerfCounters (bridged via
+// obs/sim_bridge.hpp). Benches snapshot it once per sweep point; the
+// scsql shell prints it on \metrics.
+//
+// Hot-path discipline (same as the kernel's PerfCounters): instruments
+// resolve name+labels to a stable handle ONCE, at wiring time; the
+// per-event operations are a single add (Counter/Gauge) or one
+// upper_bound over a small fixed bucket array (Histogram). Nothing in
+// the registry allocates or hashes on the per-frame path.
+//
+// Threading: a Registry belongs to one Simulator and inherits its
+// single-threaded discipline. Distinct Registries (one per sweep point)
+// are independent and may live on different worker threads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace scsq::obs {
+
+/// One key=value metric label. Labels distinguish instances of the same
+/// metric name (e.g. transport.link.bytes{type=mpi,src=bg1,dst=bg0}).
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+using Labels = std::vector<Label>;
+
+/// Monotonic counter (events, bytes, frames...).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+
+  /// Replaces the value with a cumulative total from an external source
+  /// (e.g. the kernel's PerfCounters). Must not decrease.
+  void set_total(std::uint64_t total) {
+    SCSQ_CHECK(total >= value_) << "counter total went backwards";
+    value_ = total;
+  }
+
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge (utilization, seconds, depths...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are upper bucket edges (inclusive),
+/// plus an implicit +inf overflow bucket. Bucket counts are cumulative
+/// only in the exporters; observe() touches exactly one slot.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last being the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// `count` exponential bucket edges: start, start*factor, ...
+  static std::vector<double> exp_buckets(double start, double factor, int count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates a metric. The returned reference is stable for the
+  /// lifetime of the Registry; instruments cache it and never look up
+  /// again. Re-registering the same name+labels returns the same
+  /// instance; re-registering under a different metric kind aborts
+  /// (programmer error).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels,
+                       std::vector<double> bounds);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+    return histogram(name, {}, std::move(bounds));
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Sum of every counter whose name equals `name` across all label
+  /// sets (tests/diagnostics).
+  std::uint64_t counter_total(const std::string& name) const;
+
+  /// Prometheus-style text exposition: one `name{labels} value` line per
+  /// metric, histograms as _bucket/_sum/_count series with cumulative
+  /// le-bucket counts. Dots in names become underscores.
+  void write_prometheus(std::ostream& os) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {...}} keyed by "name{k=v,...}". Single line, valid JSON (keys are
+  /// escaped), suitable for JSON-lines snapshot files.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    // Exactly one is non-null, matching `kind`. unique_ptr keeps the
+    // handle addresses stable across entries_ growth.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const Labels& labels, Kind kind);
+
+  std::vector<Entry> entries_;                     // registration order
+  std::unordered_map<std::string, std::size_t> index_;  // key -> entries_ slot
+};
+
+}  // namespace scsq::obs

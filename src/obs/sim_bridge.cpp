@@ -1,0 +1,19 @@
+#include "obs/sim_bridge.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace scsq::obs {
+
+void bridge_sim_perf(Registry& registry, const sim::PerfCounters& perf) {
+  registry.counter("sim.events_dispatched").set_total(perf.events_dispatched);
+  registry.counter("sim.heap_pushes").set_total(perf.heap_pushes);
+  registry.counter("sim.fifo_pushes").set_total(perf.fifo_pushes);
+  registry.counter("sim.callbacks_run").set_total(perf.callbacks_run);
+  registry.counter("sim.channel_sends").set_total(perf.channel_sends);
+  registry.counter("sim.channel_recvs").set_total(perf.channel_recvs);
+  registry.counter("sim.channel_waits").set_total(perf.channel_waits);
+  registry.counter("sim.wakeups").set_total(perf.wakeups);
+  registry.gauge("sim.peak_queue_depth").set(static_cast<double>(perf.peak_queue_depth));
+}
+
+}  // namespace scsq::obs

@@ -9,26 +9,52 @@ namespace scsq::sim {
 
 void Trace::interval(std::string track, std::string name, Time start, Time end) {
   SCSQ_CHECK(end >= start) << "negative trace interval";
-  events_.push_back(Event{std::move(track), std::move(name), start, end - start, true});
+  events_.push_back(Event{std::move(track), std::move(name), start, end - start, 0.0, 0,
+                          Kind::kInterval});
 }
 
 void Trace::instant(std::string track, std::string name, Time at) {
-  events_.push_back(Event{std::move(track), std::move(name), at, 0.0, false});
+  events_.push_back(Event{std::move(track), std::move(name), at, 0.0, 0.0, 0, Kind::kInstant});
+}
+
+void Trace::flow(std::string from_track, std::string to_track, std::string name, Time start,
+                 Time end) {
+  SCSQ_CHECK(end >= start) << "negative flow duration";
+  const std::uint64_t id = next_flow_id_++;
+  events_.push_back(
+      Event{std::move(from_track), name, start, 0.0, 0.0, id, Kind::kFlowStart});
+  events_.push_back(
+      Event{std::move(to_track), std::move(name), end, 0.0, 0.0, id, Kind::kFlowEnd});
+}
+
+void Trace::counter(std::string track, std::string name, Time at, double value) {
+  events_.push_back(
+      Event{std::move(track), std::move(name), at, 0.0, value, 0, Kind::kCounter});
 }
 
 double Trace::track_busy_seconds(const std::string& track) const {
   double total = 0;
   for (const auto& e : events_) {
-    if (e.is_interval && e.track == track) total += e.duration;
+    if (e.kind == Kind::kInterval && e.track == track) total += e.duration;
   }
   return total;
 }
 
 namespace {
+// JSON string escaping. Control characters must become \uXXXX escapes —
+// a raw newline or tab inside a track/event name would otherwise emit
+// invalid JSON that chrome://tracing refuses to load.
 void write_escaped(std::ostream& os, const std::string& s) {
   for (char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (u < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      os << "\\u00" << hex[(u >> 4) & 0xF] << hex[u & 0xF];
+    } else {
+      os << c;
+    }
   }
 }
 }  // namespace
@@ -51,10 +77,31 @@ void Trace::write_json(std::ostream& os) const {
   }
   for (const auto& e : events_) {
     os << ",";
-    os << "{\"ph\":\"" << (e.is_interval ? 'X' : 'i') << "\",\"pid\":1,\"tid\":"
-       << tids.at(e.track) << ",\"ts\":" << e.start * 1e6;
-    if (e.is_interval) os << ",\"dur\":" << e.duration * 1e6;
-    if (!e.is_interval) os << ",\"s\":\"t\"";
+    const int tid = tids.at(e.track);
+    switch (e.kind) {
+      case Kind::kInterval:
+        os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << e.start * 1e6
+           << ",\"dur\":" << e.duration * 1e6;
+        break;
+      case Kind::kInstant:
+        os << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << e.start * 1e6
+           << ",\"s\":\"t\"";
+        break;
+      case Kind::kFlowStart:
+        os << "{\"ph\":\"s\",\"cat\":\"stream\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":" << e.start * 1e6 << ",\"id\":" << e.id;
+        break;
+      case Kind::kFlowEnd:
+        // bp:"e" binds the arrow to the enclosing slice at the arrival
+        // timestamp instead of the next slice.
+        os << "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"stream\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":" << e.start * 1e6 << ",\"id\":" << e.id;
+        break;
+      case Kind::kCounter:
+        os << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << e.start * 1e6
+           << ",\"args\":{\"value\":" << e.value << "}";
+        break;
+    }
     os << ",\"name\":\"";
     write_escaped(os, e.name);
     os << "\"}";

@@ -6,9 +6,13 @@
 // Resources integrate directly: Resource::set_trace() records one
 // "busy" interval per busy episode (a capacity-k resource is "busy"
 // while at least one slot is held; hand-offs extend the episode). The
-// execution engine adds instant events for stream-process lifecycle.
+// execution engine adds instant events for stream-process lifecycle,
+// flow events (producer→consumer arrows between stream-process tracks,
+// one per delivered frame) and counter tracks (per-RP element counts),
+// so Perfetto shows stream hand-offs, not just busy resources.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -25,8 +29,21 @@ class Trace {
   /// An instantaneous event on a named track.
   void instant(std::string track, std::string name, Time at);
 
+  /// A flow arrow from `from_track` at `start` to `to_track` at `end`
+  /// (Chrome "s"/"f" event pair sharing an id). Perfetto draws these as
+  /// arrows between the two tracks — used for stream frame hand-offs.
+  void flow(std::string from_track, std::string to_track, std::string name, Time start,
+            Time end);
+
+  /// A counter sample: the value of series `name` on `track` at `at`
+  /// (Chrome "C" event; rendered as a stacked counter track).
+  void counter(std::string track, std::string name, Time at, double value);
+
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
+
+  /// Number of flow arrows recorded (each counts once, not per endpoint).
+  std::size_t flow_count() const { return next_flow_id_; }
 
   /// Sum of interval durations on one track (tests/diagnostics).
   double track_busy_seconds(const std::string& track) const;
@@ -36,14 +53,25 @@ class Trace {
   void write_json(std::ostream& os) const;
 
  private:
+  enum class Kind : std::uint8_t {
+    kInterval,
+    kInstant,
+    kFlowStart,
+    kFlowEnd,
+    kCounter,
+  };
+
   struct Event {
     std::string track;
     std::string name;
     Time start = 0;
-    Time duration = 0;  // 0 for instants
-    bool is_interval = false;
+    Time duration = 0;       // intervals only
+    double value = 0;        // counters only
+    std::uint64_t id = 0;    // flow start/end pairing
+    Kind kind = Kind::kInstant;
   };
   std::vector<Event> events_;
+  std::uint64_t next_flow_id_ = 0;
 };
 
 }  // namespace scsq::sim

@@ -8,9 +8,19 @@ void Link::start_transmit(Frame frame, std::function<void()> on_sender_free) {
 
 sim::Task<void> Link::run(Frame frame, std::function<void()> on_sender_free) {
   const bool eos = frame.eos;
+  const std::uint64_t payload = frame.bytes;
+  const double t0 = sim_->now();
+  const bool window_full = window_.in_use() >= window_.capacity();
+  if (window_full && metrics_.stalls) metrics_.stalls->inc();
   co_await window_.acquire();
+  if (metrics_.stall_seconds) metrics_.stall_seconds->add(sim_->now() - t0);
   co_await transmit_one(std::move(frame), std::move(on_sender_free));
   window_.release();
+  const double t1 = sim_->now();
+  if (metrics_.frames) metrics_.frames->inc();
+  if (metrics_.bytes) metrics_.bytes->inc(payload);
+  if (metrics_.frame_latency) metrics_.frame_latency->observe(t1 - t0);
+  if (flow_trace_ && !eos) flow_trace_->flow(flow_from_, flow_to_, "frame", t0, t1);
   if (eos) {
     stream_ended();
     drained_.set();
@@ -86,7 +96,9 @@ sim::Task<void> SenderDriver::drain() {
     // Wait for a free send buffer: with a single buffer this serializes
     // marshal and transmit; with two, marshal of frame i+1 overlaps the
     // transmission of frame i.
+    const double wait_start = sim_->now();
     co_await slots_.acquire();
+    stall_seconds_ += sim_->now() - wait_start;
     const double marshal_cost = static_cast<double>(frame->bytes) *
                                 params_.marshal_per_byte_s * params_.factor(frame->bytes);
     co_await cpu_->use(marshal_cost);

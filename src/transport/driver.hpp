@@ -17,10 +17,12 @@
 #include <optional>
 
 #include "catalog/object.hpp"
+#include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "sim/trace.hpp"
 #include "transport/frame.hpp"
 
 namespace scsq::transport {
@@ -46,6 +48,17 @@ struct DriverParams {
   double factor(std::uint64_t bytes) const {
     return cache_factor ? cache_factor(bytes) : 1.0;
   }
+};
+
+/// Registry handles one Link reports through — resolved once when the
+/// connection is wired (make_link labels them by link type and endpoint
+/// locations), then every delivered frame is a few plain adds.
+struct LinkMetrics {
+  obs::Counter* frames = nullptr;        ///< frames delivered (incl. EOS)
+  obs::Counter* bytes = nullptr;         ///< payload bytes delivered
+  obs::Counter* stalls = nullptr;        ///< transmissions that found the window full
+  obs::Gauge* stall_seconds = nullptr;   ///< total time spent waiting for the window
+  obs::Histogram* frame_latency = nullptr;  ///< queue-entry -> inbox-delivery seconds
 };
 
 /// A transport connection carrying frames from one producer RP to one
@@ -74,6 +87,18 @@ class Link {
   /// Set once the EOS frame has been delivered (safe to tear down).
   sim::Event& drained() { return drained_; }
 
+  /// Attaches registry handles; every delivered frame then updates them.
+  void set_metrics(const LinkMetrics& metrics) { metrics_ = metrics; }
+
+  /// Attaches a trace: every delivered data frame records a flow arrow
+  /// from `from_track` (at transmission start) to `to_track` (at inbox
+  /// delivery) — the producer→consumer stream hand-off in Perfetto.
+  void set_flow_trace(sim::Trace* trace, std::string from_track, std::string to_track) {
+    flow_trace_ = trace;
+    flow_from_ = std::move(from_track);
+    flow_to_ = std::move(to_track);
+  }
+
  protected:
   virtual sim::Task<void> transmit_one(Frame frame,
                                        std::function<void()> on_sender_free) = 0;
@@ -88,6 +113,10 @@ class Link {
   sim::Simulator* sim_;
   sim::Event drained_;
   sim::Resource window_;
+  LinkMetrics metrics_;
+  sim::Trace* flow_trace_ = nullptr;
+  std::string flow_from_;
+  std::string flow_to_;
 };
 
 class SenderDriver {
@@ -108,6 +137,10 @@ class SenderDriver {
 
   std::uint64_t bytes_sent() const { return cutter_.total_emitted_bytes(); }
 
+  /// Time this sender spent waiting for a free send buffer — the
+  /// per-RP stall gauge (nonzero = the stream is transmit-bound).
+  double stall_seconds() const { return stall_seconds_; }
+
  private:
   /// Single drainer coroutine: emits frames in cut order (marshal on the
   /// CPU, then hand to the link), serializing pushes and linger flushes.
@@ -125,6 +158,7 @@ class SenderDriver {
   sim::Channel<Frame> outbox_;
   std::uint64_t linger_generation_ = 0;
   bool finishing_ = false;
+  double stall_seconds_ = 0.0;
 };
 
 class ReceiverDriver {

@@ -5,6 +5,7 @@
 #include "core/scsq.hpp"
 #include "sim/resource.hpp"
 #include "sim/trace.hpp"
+#include "util/json.hpp"
 
 namespace scsq::sim {
 namespace {
@@ -37,6 +38,74 @@ TEST(Trace, JsonFormat) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Trace, ControlCharactersAreEscaped) {
+  Trace trace;
+  trace.instant("tr\nack", std::string("na\tme\x01!"), 1.0);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  // No raw control characters may survive into the output...
+  for (char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << json;
+  EXPECT_NE(json.find("\\u000a"), std::string::npos);
+  EXPECT_NE(json.find("\\u0009"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  // ...and the document round-trips through a strict JSON parser.
+  const auto doc = util::json::parse(json);
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const auto& ev : events->as_array()) {
+    if (ev.find("ph")->as_string() == "i") {
+      EXPECT_EQ(ev.find("name")->as_string(), "na\tme\x01!");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, FlowEventsFormAnSFPair) {
+  Trace trace;
+  trace.flow("rp1", "rp2", "frame", 1e-6, 3e-6);
+  EXPECT_EQ(trace.flow_count(), 1u);
+  EXPECT_EQ(trace.size(), 2u);  // start + finish share one arrow
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+
+  const auto doc = util::json::parse(json);
+  std::vector<const util::json::Value*> pair;
+  for (const auto& ev : doc.find("traceEvents")->as_array()) {
+    const auto& ph = ev.find("ph")->as_string();
+    if (ph == "s" || ph == "f") pair.push_back(&ev);
+  }
+  // The pair shares an id and spans the two tracks in order.
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_DOUBLE_EQ(pair[0]->find("id")->as_number(), pair[1]->find("id")->as_number());
+  EXPECT_EQ(pair[0]->find("ph")->as_string(), "s");
+  EXPECT_EQ(pair[1]->find("ph")->as_string(), "f");
+  EXPECT_LT(pair[0]->find("ts")->as_number(), pair[1]->find("ts")->as_number());
+}
+
+TEST(Trace, CounterEvents) {
+  Trace trace;
+  trace.counter("rp1", "elements_out", 2.0, 64.0);
+  std::ostringstream os;
+  trace.write_json(os);
+  const auto doc = util::json::parse(os.str());
+  bool found = false;
+  for (const auto& ev : doc.find("traceEvents")->as_array()) {
+    if (ev.find("ph")->as_string() != "C") continue;
+    EXPECT_DOUBLE_EQ(ev.find("args")->find("value")->as_number(), 64.0);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  // Counter samples are not busy intervals.
+  EXPECT_DOUBLE_EQ(trace.track_busy_seconds("rp1"), 0.0);
 }
 
 TEST(Trace, ResourceBusyEpisodes) {
@@ -90,6 +159,24 @@ TEST(Trace, FullQueryProducesConsistentTrace) {
   std::ostringstream os;
   trace.write_json(os);
   EXPECT_GT(os.str().size(), 1000u);
+
+  // The engine wired flow arrows for the stream hand-offs (one per
+  // delivered data frame) and instants/counters on the RP tracks, and
+  // the whole document still parses as strict JSON.
+  EXPECT_GT(trace.flow_count(), 0u);
+  const auto doc = util::json::parse(os.str());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_flow_start = false, saw_flow_end = false, saw_counter = false;
+  for (const auto& ev : events->as_array()) {
+    const auto& ph = ev.find("ph")->as_string();
+    saw_flow_start |= ph == "s";
+    saw_flow_end |= ph == "f";
+    saw_counter |= ph == "C";
+  }
+  EXPECT_TRUE(saw_flow_start);
+  EXPECT_TRUE(saw_flow_end);
+  EXPECT_TRUE(saw_counter);
 }
 
 }  // namespace

@@ -20,14 +20,56 @@ cmake --build "$BUILD" -j"$(nproc)"
 
 export SCSQ_BENCH_QUICK=1
 export SCSQ_BENCH_THREADS=2
+
+TMPD=$(mktemp -d)
+trap 'rm -rf "$TMPD"' EXIT
+
+# validate_json FILE — every line (JSONL) or the whole document must be
+# valid JSON; metrics/trace exports are hand-rolled, so check them here.
+validate_json() {
+  if python3 -m json.tool "$1" > /dev/null 2>&1; then
+    return 0
+  fi
+  # Not a single document: require every non-empty line to parse (JSONL).
+  python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+for n, line in enumerate(open(path), 1):
+    if not line.strip():
+        continue
+    try:
+        json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}:{n}: invalid JSON: {e}")
+EOF
+}
+
 for b in fig6_p2p fig8_merge fig15_inbound \
          ablate_coproc ablate_dblbuf ablate_nodesel ablate_smartsel \
          linear_road; do
   echo "== bench_$b (quick, 2 threads) =="
-  "$BUILD/bench/bench_$b" > /dev/null
+  SCSQ_METRICS_OUT="$TMPD/$b.jsonl" "$BUILD/bench/bench_$b" > /dev/null
+  if [[ -f "$TMPD/$b.jsonl" ]]; then
+    validate_json "$TMPD/$b.jsonl"
+    echo "   metrics JSONL ok ($(wc -l < "$TMPD/$b.jsonl") records)"
+  fi
 done
 
 # Kernel microbenchmarks: one fast shot each, just to prove they run.
 "$BUILD/bench/bench_kernels" --benchmark_filter='BM_(SimulatorEventThroughput|WaitQueueWakeup|ChannelPingPong)' > /dev/null
+
+# Shell smoke: trace + \metrics snapshot on a tiny query; both exports
+# must be valid JSON / contain the expected sections.
+echo "== scsql_shell trace + metrics =="
+echo "select extract(b) from sp a, sp b
+ where b=sp(streamof(count(extract(a))),'bg',0)
+ and a=sp(gen_array(100000,2),'bg',1);
+\\metrics" | SCSQ_TRACE="$TMPD/shell_trace.json" "$BUILD/tools/scsql_shell" > "$TMPD/shell_out.txt"
+validate_json "$TMPD/shell_trace.json"
+grep -q '# TYPE' "$TMPD/shell_out.txt" || { echo "missing \\metrics output"; exit 1; }
+
+# Bench baseline self-check: committed "new" numbers must not regress
+# more than 20% against their recorded seeds.
+"$BUILD/tools/metrics_diff" --check BENCH_kernels.json
 
 echo "ci_smoke: OK"

@@ -1,0 +1,185 @@
+// metrics_diff — compare metrics/bench JSON documents and flag
+// performance regressions beyond a threshold.
+//
+// Two modes:
+//
+//   metrics_diff [--threshold=0.2] --check BASELINE.json
+//     Self-check of a committed baseline (BENCH_kernels.json style):
+//     every object containing numeric "seed" and "new" members is a
+//     tracked measurement; fail (exit 1) when new < seed*(1-threshold).
+//     Also validates that the file parses as strict JSON. Objects with
+//     "seed": null (no pre-optimization measurement) are skipped.
+//
+//   metrics_diff [--threshold=0.2] OLD.json NEW.json
+//     Structural diff: every numeric leaf is flattened to a dotted path
+//     (obs registry exports, bench JSONL records, bench baselines all
+//     work) and matching paths are compared. Leaves present in only one
+//     file are listed; a drop beyond the threshold at any shared path
+//     fails (exit 1). Files holding JSON-lines (one document per line,
+//     e.g. SCSQ_METRICS_OUT output) are wrapped into an array first.
+//
+// Exit codes: 0 ok, 1 regression found, 2 usage/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using scsq::util::json::ParseError;
+using scsq::util::json::Value;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "metrics_diff: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Whole-document parse, falling back to JSON-lines (each non-empty line
+/// one document, collected into an array).
+Value parse_file(const std::string& path) {
+  const std::string text = read_file(path);
+  try {
+    return scsq::util::json::parse(text);
+  } catch (const ParseError&) {
+    std::vector<Value> docs;
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      try {
+        docs.push_back(scsq::util::json::parse(line));
+      } catch (const ParseError& e) {
+        std::fprintf(stderr, "metrics_diff: %s:%zu: %s\n", path.c_str(), lineno, e.what());
+        std::exit(2);
+      }
+    }
+    if (docs.empty()) {
+      std::fprintf(stderr, "metrics_diff: %s: no JSON documents\n", path.c_str());
+      std::exit(2);
+    }
+    return Value::make_array(std::move(docs));
+  }
+}
+
+/// Recursively checks "seed"/"new" measurement objects; returns the
+/// number of regressions found and counts the measurements inspected.
+int check_baseline(const Value& v, const std::string& path, double threshold,
+                   int* inspected) {
+  int regressions = 0;
+  if (v.is_object()) {
+    const Value* seed = v.find("seed");
+    const Value* fresh = v.find("new");
+    if (seed != nullptr && fresh != nullptr && fresh->is_number()) {
+      if (seed->is_number()) {
+        ++*inspected;
+        const double floor = seed->as_number() * (1.0 - threshold);
+        if (fresh->as_number() < floor) {
+          std::printf("REGRESSION %s: new=%g < seed=%g - %.0f%% (floor %g)\n",
+                      path.c_str(), fresh->as_number(), seed->as_number(),
+                      threshold * 100.0, floor);
+          ++regressions;
+        }
+      }
+      return regressions;  // a measurement leaf; don't recurse further
+    }
+    for (const auto& [key, member] : v.as_object()) {
+      regressions +=
+          check_baseline(member, path.empty() ? key : path + "." + key, threshold, inspected);
+    }
+  } else if (v.is_array()) {
+    const auto& items = v.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      regressions += check_baseline(items[i], path + "[" + std::to_string(i) + "]",
+                                    threshold, inspected);
+    }
+  }
+  return regressions;
+}
+
+int run_check(const std::string& path, double threshold) {
+  const Value doc = parse_file(path);
+  int inspected = 0;
+  const int regressions = check_baseline(doc, "", threshold, &inspected);
+  std::printf("%s: %d measurement(s) checked, %d regression(s) (threshold %.0f%%)\n",
+              path.c_str(), inspected, regressions, threshold * 100.0);
+  return regressions > 0 ? 1 : 0;
+}
+
+int run_diff(const std::string& old_path, const std::string& new_path, double threshold) {
+  const auto old_leaves = scsq::util::json::numeric_leaves(parse_file(old_path));
+  const auto new_leaves = scsq::util::json::numeric_leaves(parse_file(new_path));
+
+  int regressions = 0;
+  std::size_t shared = 0;
+  for (const auto& [path, old_value] : old_leaves) {
+    auto it = new_leaves.find(path);
+    if (it == new_leaves.end()) {
+      std::printf("ONLY-OLD   %s = %g\n", path.c_str(), old_value);
+      continue;
+    }
+    ++shared;
+    const double new_value = it->second;
+    if (new_value == old_value) continue;
+    const double floor = old_value * (1.0 - threshold);
+    const bool regressed = old_value > 0.0 && new_value < floor;
+    const double pct =
+        old_value != 0.0 ? (new_value - old_value) / old_value * 100.0 : 0.0;
+    std::printf("%s %s: %g -> %g (%+.1f%%)\n", regressed ? "REGRESSION" : "CHANGED   ",
+                path.c_str(), old_value, new_value, pct);
+    if (regressed) ++regressions;
+  }
+  for (const auto& [path, new_value] : new_leaves) {
+    if (!old_leaves.contains(path)) std::printf("ONLY-NEW   %s = %g\n", path.c_str(), new_value);
+  }
+  std::printf("%zu shared leaf value(s), %d regression(s) (threshold %.0f%%)\n", shared,
+              regressions, threshold * 100.0);
+  return regressions > 0 ? 1 : 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: metrics_diff [--threshold=FRACTION] --check BASELINE.json\n"
+               "       metrics_diff [--threshold=FRACTION] OLD.json NEW.json\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.2;
+  bool check = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(arg.c_str() + std::strlen("--threshold="), &end);
+      if (end == nullptr || *end != '\0' || threshold < 0.0 || threshold >= 1.0) {
+        std::fprintf(stderr, "metrics_diff: bad threshold '%s'\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg == "--check") {
+      check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (check && files.size() == 1) return run_check(files[0], threshold);
+  if (!check && files.size() == 2) return run_diff(files[0], files[1], threshold);
+  usage();
+}

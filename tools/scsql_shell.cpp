@@ -15,6 +15,10 @@
 // Each query statement prints its result stream, the simulated elapsed
 // time, and the total stream volume — the same numbers the paper's
 // measurement methodology uses.
+//
+// Shell commands (a line of their own in the script/stdin):
+//   \metrics   print the metrics-registry snapshot (Prometheus text
+//              format) and the per-RP table of the last query
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +37,30 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return v ? std::strtoull(v, nullptr, 10) : fallback;
 }
 
+void print_rp_table(const scsq::exec::RunReport& report) {
+  for (const auto& rp : report.rps) {
+    std::printf("   rp#%-3llu %-6s out=%-8llu tx=%-12llu rx=%-12llu stall=%.6fs %s\n",
+                static_cast<unsigned long long>(rp.id), rp.loc.to_string().c_str(),
+                static_cast<unsigned long long>(rp.elements_out),
+                static_cast<unsigned long long>(rp.bytes_sent),
+                static_cast<unsigned long long>(rp.bytes_received), rp.stall_s,
+                rp.query.c_str());
+  }
+}
+
+void print_metrics(scsq::Scsq& scsq, const scsq::exec::RunReport* last_report) {
+  scsq.machine().publish_metrics();
+  auto& registry = scsq.machine().metrics();
+  std::printf("-- metrics snapshot (%zu series)\n", registry.size());
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  std::fputs(os.str().c_str(), stdout);
+  if (last_report != nullptr && !last_report->rps.empty()) {
+    std::printf("-- per-RP stats of the last query\n");
+    print_rp_table(*last_report);
+  }
+}
+
 void print_report(const scsq::exec::RunReport& report, bool verbose) {
   std::printf("-- %zu result(s)", report.results.size());
   if (report.stopped) std::printf(" [stopped]");
@@ -47,15 +75,14 @@ void print_report(const scsq::exec::RunReport& report, bool verbose) {
   std::printf("-- %.6f s simulated (%.3f ms setup), %s streamed, %zu stream process(es)\n",
               report.elapsed_s, report.setup_s * 1e3,
               scsq::util::format_bytes(report.stream_bytes).c_str(), report.rp_count);
-  if (verbose) {
-    for (const auto& rp : report.rps) {
-      std::printf("   rp#%-3llu %-6s out=%-8llu tx=%-12llu rx=%-12llu %s\n",
-                  static_cast<unsigned long long>(rp.id), rp.loc.to_string().c_str(),
-                  static_cast<unsigned long long>(rp.elements_out),
-                  static_cast<unsigned long long>(rp.bytes_sent),
-                  static_cast<unsigned long long>(rp.bytes_received), rp.query.c_str());
-    }
-  }
+  if (verbose) print_rp_table(report);
+}
+
+std::string trimmed(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
 }
 
 }  // namespace
@@ -90,16 +117,40 @@ int main(int argc, char** argv) {
   scsq::sim::Trace trace;
   const char* trace_path = std::getenv("SCSQ_TRACE");
   if (trace_path != nullptr) scsq.machine().set_trace(&trace);
-  try {
-    for (const auto& statement : scsq::scsql::parse_script(source)) {
+  scsq::exec::RunReport last_report;
+  bool have_report = false;
+  const auto run_pending = [&](std::string& pending) {
+    for (const auto& statement : scsq::scsql::parse_script(pending)) {
       if (statement.function) {
         scsq.engine().register_function(statement.function);
         std::printf("-- registered function '%s'\n", statement.function->name.c_str());
         continue;
       }
       std::printf(">> %s;\n", statement.query->to_string().c_str());
-      print_report(scsq.engine().run_statement(statement), verbose);
+      last_report = scsq.engine().run_statement(statement);
+      have_report = true;
+      print_report(last_report, verbose);
     }
+    pending.clear();
+  };
+
+  try {
+    // Line-based pass so shell commands (\metrics) can punctuate the
+    // SCSQL statements; the text between commands goes to the parser
+    // unchanged.
+    std::string pending;
+    std::istringstream lines(source);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (trimmed(line) == "\\metrics") {
+        run_pending(pending);
+        print_metrics(scsq, have_report ? &last_report : nullptr);
+        continue;
+      }
+      pending += line;
+      pending += '\n';
+    }
+    run_pending(pending);
   } catch (const scsq::scsql::Error& e) {
     std::fprintf(stderr, "scsql error: %s\n", e.what());
     return 1;
