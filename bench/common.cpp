@@ -89,6 +89,9 @@ double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
       trace.write_json(ts);
       capture->trace_json = ts.str();
     }
+    if (capture->want_profile) {
+      capture->profile_json = scsq.engine().profile(report).json();
+    }
   }
   SCSQ_CHECK(report.elapsed_s > 0.0) << "empty run";
   return static_cast<double>(payload_bytes) * 8.0 / report.elapsed_s / 1e6;
@@ -178,12 +181,36 @@ void write_metrics_jsonl(const char* path, const std::vector<QueryPoint>& points
   }
 }
 
+// Same truncate-then-append discipline as SCSQ_METRICS_OUT, tracked
+// separately so either side channel can be used alone.
+void write_profile_jsonl(const char* path, const std::vector<QueryPoint>& points,
+                         const std::vector<RunCapture>& captures) {
+  static bool truncated = false;
+  std::ofstream out(path, truncated ? std::ios::app : std::ios::trunc);
+  truncated = true;
+  if (!out) {
+    std::fprintf(stderr, "[harness] cannot open SCSQ_PROFILE_OUT=%s\n", path);
+    return;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::string q;
+    append_json_escaped(q, p.query);
+    out << "{\"point\":" << i << ",\"query\":\"" << q << "\""
+        << ",\"payload_bytes\":" << p.payload_bytes
+        << ",\"buffer_bytes\":" << p.buffer_bytes
+        << ",\"send_buffers\":" << p.send_buffers << ",\"seed\":" << p.seed
+        << ",\"profile\":" << captures[i].profile_json << "}\n";
+  }
+}
+
 }  // namespace
 
 std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
   const char* metrics_path = std::getenv("SCSQ_METRICS_OUT");
   const char* trace_path = std::getenv("SCSQ_TRACE_OUT");
-  if (!metrics_path && !trace_path) {
+  const char* profile_path = std::getenv("SCSQ_PROFILE_OUT");
+  if (!metrics_path && !trace_path && !profile_path) {
     return sweep(points, [](const QueryPoint& p) {
       return repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
                                p.send_buffers, p.seed);
@@ -198,6 +225,7 @@ std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
   auto outs = sweep(points, [&](const QueryPoint& p) {
     PointOut out;
     out.capture.want_trace = trace_path != nullptr && &p == first;
+    out.capture.want_profile = profile_path != nullptr;
     out.stats = repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
                                   p.send_buffers, p.seed, &out.capture);
     return out;
@@ -212,6 +240,7 @@ std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
     captures.push_back(std::move(o.capture));
   }
   if (metrics_path) write_metrics_jsonl(metrics_path, points, stats, captures);
+  if (profile_path) write_profile_jsonl(profile_path, points, captures);
   if (trace_path && !captures.empty() && !captures.front().trace_json.empty()) {
     std::ofstream out(trace_path, std::ios::trunc);
     if (out) {

@@ -58,9 +58,11 @@ hw::CostModel jittered(hw::CostModel cost, std::uint64_t seed);
 /// Capturing happens after sim.run() returns, so timing results and the
 /// stdout tables are unaffected.
 struct RunCapture {
-  bool want_trace = false;   ///< record a Chrome/Perfetto trace of the run
-  std::string metrics_json;  ///< registry snapshot (obs JSON export)
-  std::string trace_json;    ///< Chrome tracing JSON (when want_trace)
+  bool want_trace = false;    ///< record a Chrome/Perfetto trace of the run
+  bool want_profile = false;  ///< capture an EXPLAIN ANALYZE profile JSON
+  std::string metrics_json;   ///< registry snapshot (obs JSON export)
+  std::string trace_json;     ///< Chrome tracing JSON (when want_trace)
+  std::string profile_json;   ///< obs::Profile JSON (when want_profile)
 };
 
 /// Runs one query on a fresh simulated machine; returns Mbit/s of
@@ -130,6 +132,10 @@ auto sweep(const std::vector<Point>& points, Fn fn)
 ///    The first run_points call of the process truncates the file.
 ///  * SCSQ_TRACE_OUT=<path>: writes a Chrome/Perfetto trace of the first
 ///    sweep point's last repetition.
+///  * SCSQ_PROFILE_OUT=<path>: appends one JSON-lines record per sweep
+///    point — the point's parameters plus the EXPLAIN ANALYZE profile
+///    (dataflow nodes/edges, critical path, attribution) of the point's
+///    last repetition. First run_points call truncates the file.
 std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points);
 
 // --- Query builders (the paper's SCSQL, parameterized) ---

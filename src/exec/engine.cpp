@@ -142,11 +142,17 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
     s.loc = rp->loc;
     s.query = rp->query ? rp->query->to_string() : "<client manager>";
     s.elements_out = rp->elements_out;
+    s.drive_s = rp->drive_s;
     for (const auto& tx : rp->senders) {
       s.bytes_sent += tx->bytes_sent();
       s.stall_s += tx->stall_seconds();
+      s.marshal_s += tx->marshal_seconds();
     }
-    for (const auto& rx : rp->receivers) s.bytes_received += rx->bytes_received();
+    for (const auto& rx : rp->receivers) {
+      s.bytes_received += rx->bytes_received();
+      s.recv_wait_s += rx->wait_seconds();
+      s.demarshal_s += rx->demarshal_seconds();
+    }
     publish_rp_metrics(s);
     report.rps.push_back(std::move(s));
   }
@@ -166,6 +172,52 @@ void Engine::publish_rp_metrics(const RpStat& s) {
   registry.gauge("engine.rp.bytes_received", labels)
       .set(static_cast<double>(s.bytes_received));
   registry.gauge("engine.rp.stall_s", labels).set(s.stall_s);
+  registry.gauge("engine.rp.drive_s", labels).set(s.drive_s);
+  registry.gauge("engine.rp.recv_wait_s", labels).set(s.recv_wait_s);
+  registry.gauge("engine.rp.marshal_s", labels).set(s.marshal_s);
+  registry.gauge("engine.rp.demarshal_s", labels).set(s.demarshal_s);
+}
+
+obs::Profile Engine::profile(const RunReport& report) const {
+  obs::Profile p;
+  p.elapsed_s = report.elapsed_s;
+  p.setup_s = report.setup_s;
+  p.coproc_switch_s = machine_->bg().torus().switch_seconds();
+  for (const auto& rp : rps_) {
+    obs::ProfileNode n;
+    n.rp = rp->id;
+    n.loc = rp->loc.to_string();
+    n.query = rp->query ? rp->query->to_string() : "<client manager>";
+    n.op = rp->root ? rp->root->name() : "collect";
+    n.is_client = rp->is_client;
+    n.elements_out = rp->elements_out;
+    n.drive_s = rp->drive_s;
+    for (const auto& rx : rp->receivers) {
+      n.bytes_received += rx->bytes_received();
+      n.recv_wait_s += rx->wait_seconds();
+      n.demarshal_s += rx->demarshal_seconds();
+    }
+    for (std::size_t i = 0; i < rp->senders.size(); ++i) {
+      const auto& tx = *rp->senders[i];
+      n.bytes_sent += tx.bytes_sent();
+      n.marshal_s += tx.marshal_seconds();
+      n.send_stall_s += tx.stall_seconds();
+      obs::ProfileEdge e;
+      e.src_rp = rp->id;
+      e.dst_rp = rp->consumer_ids[i];
+      e.type = tx.link().type();
+      const auto& st = tx.link().stats();
+      e.frames = st.frames;
+      e.payload_bytes = st.payload_bytes;
+      e.wire_bytes = st.wire_bytes;
+      e.transit_s = st.transit_s;
+      e.window_wait_s = st.window_wait_s;
+      e.latency = st.latency;
+      p.edges.push_back(std::move(e));
+    }
+    p.nodes.push_back(std::move(n));
+  }
+  return p;
 }
 
 // ---------------------------------------------------------------------
@@ -547,7 +599,9 @@ sim::Task<void> Engine::run_rp(Rp& rp) {
   try {
     if (rp.root != nullptr) {
       while (!stop_requested_) {
+        const double drive_start = machine_->sim().now();
         auto obj = co_await rp.root->next();
+        rp.drive_s += machine_->sim().now() - drive_start;
         if (!obj) break;
         rp.elements_out += 1;
         // Sampled, not per-element: an unthrottled counter track would

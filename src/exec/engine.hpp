@@ -28,6 +28,7 @@
 #include "exec/coordinator.hpp"
 #include "exec/env.hpp"
 #include "hw/machine.hpp"
+#include "obs/profiler.hpp"
 #include "plan/builder.hpp"
 #include "scsql/parser.hpp"
 #include "transport/driver.hpp"
@@ -81,6 +82,10 @@ struct RpStat {
   std::uint64_t bytes_sent = 0;    // over all subscriber connections
   std::uint64_t bytes_received = 0;
   double stall_s = 0.0;  // time blocked waiting for a free send buffer
+  double drive_s = 0.0;      // time inside root->next() (includes waits)
+  double recv_wait_s = 0.0;  // blocked on empty inboxes
+  double marshal_s = 0.0;    // send-side marshal CPU
+  double demarshal_s = 0.0;  // receive-side de-marshal + alloc CPU
 };
 
 struct RunReport {
@@ -122,6 +127,12 @@ class Engine {
   /// Executes one pre-parsed statement.
   RunReport run_statement(const scsql::Statement& statement);
 
+  /// EXPLAIN ANALYZE: builds the measured dataflow profile of the run
+  /// `report` came from. Valid until the next run_statement/run_script
+  /// call (the engine keeps the finished RPs and their drivers alive
+  /// until then).
+  obs::Profile profile(const RunReport& report) const;
+
   hw::Machine& machine() { return *machine_; }
   const ExecOptions& options() const { return options_; }
 
@@ -138,6 +149,7 @@ class Engine {
     std::vector<std::unique_ptr<transport::SenderDriver>> senders;
     std::vector<std::uint64_t> consumer_ids;  // parallel to senders
     std::uint64_t elements_out = 0;
+    double drive_s = 0.0;  // simulated time spent inside root->next()
     std::unique_ptr<sim::Event> done;
   };
 

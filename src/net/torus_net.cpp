@@ -71,6 +71,7 @@ void TorusNetwork::publish_metrics(obs::Registry& registry) const {
   registry.counter("torus.packets").set_total(packets_);
   registry.counter("torus.rendezvous_messages").set_total(rendezvous_messages_);
   registry.counter("torus.payload_bytes").set_total(payload_bytes_);
+  registry.gauge("torus.coproc.switch_s").set(switch_seconds_);
   const int n = topology_.node_count();
   for (const auto& [key, link] : links_) {
     const int from = static_cast<int>(key / static_cast<std::uint64_t>(n));
@@ -153,6 +154,7 @@ sim::Task<void> TorusNetwork::transmit_impl(int from, int to, std::uint64_t payl
   const double switch_cost = params_.source_switch_penalty_s *
                              static_cast<double>(streams - 1) /
                              static_cast<double>(streams);
+  switch_seconds_ += switch_cost;
   co_await coproc(to).use(npkt * params_.recv_per_packet_s * cf + switch_cost);
   if (delivered) delivered->set();
 }

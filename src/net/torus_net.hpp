@@ -120,6 +120,10 @@ class TorusNetwork {
   /// Busy seconds of a directed link so far (0 if never used).
   double link_busy_seconds(int from, int to) const;
 
+  /// Cumulative receive co-processor source-switch seconds, machine-wide
+  /// (the coproc.switch attribution input of the profiler).
+  double switch_seconds() const { return switch_seconds_; }
+
   /// Publishes per-hop utilization and message/packet totals into the
   /// registry: torus.link.busy_s / torus.link.utilization gauges per
   /// *used* directed link (labeled from/to), torus.coproc.busy_s per
@@ -149,6 +153,7 @@ class TorusNetwork {
   std::uint64_t packets_ = 0;
   std::uint64_t rendezvous_messages_ = 0;
   std::uint64_t payload_bytes_ = 0;
+  double switch_seconds_ = 0.0;
 };
 
 }  // namespace scsq::net

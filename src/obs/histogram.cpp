@@ -1,0 +1,79 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace scsq::obs {
+
+LogHistogram::LogHistogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  SCSQ_CHECK(lo > 0.0 && hi > lo && buckets >= 1) << "bad LogHistogram shape";
+  log_lo_ = std::log(lo_);
+  inv_log_step_ = static_cast<double>(buckets) / (std::log(hi_) - log_lo_);
+  counts_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void LogHistogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += 1;
+  sum_ += v;
+  std::size_t idx = 0;
+  if (v > lo_) {
+    const double pos = (std::log(v) - log_lo_) * inv_log_step_;
+    idx = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>(std::max(0.0, pos)));
+  }
+  counts_[idx] += 1;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  SCSQ_CHECK(counts_.size() == other.counts_.size() && lo_ == other.lo_ && hi_ == other.hi_)
+      << "merging LogHistograms of different shapes";
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+double LogHistogram::bucket_lower(std::size_t i) const {
+  return std::exp(log_lo_ + static_cast<double>(i) / inv_log_step_);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based: ceil(q * count), at least 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cumulative + counts_[i] >= rank) {
+      // Geometric interpolation inside the bucket: rank position within
+      // the bucket maps onto the bucket's log-space extent.
+      const double f = static_cast<double>(rank - cumulative) /
+                       static_cast<double>(counts_[i]);
+      const double lower = bucket_lower(i);
+      const double upper = bucket_upper(i);
+      const double v = lower * std::pow(upper / lower, f);
+      return std::clamp(v, min_, max_);
+    }
+    cumulative += counts_[i];
+  }
+  return max_;
+}
+
+}  // namespace scsq::obs

@@ -1,0 +1,70 @@
+// Log-bucket latency histogram with quantile extraction.
+//
+// The registry's fixed-bucket Histogram is an exporter-facing instrument
+// (Prometheus le-buckets); LogHistogram is the analysis-facing one: a
+// geometric bucket ladder over [lo, hi] whose p50/p95/p99 come out with
+// bounded *relative* error (one bucket ratio) at any scale, which is
+// what latency attribution needs — a 2 µs local hand-off and a 0.5 s
+// backpressured cross-cluster frame live in the same histogram. The
+// transport frame-latency path feeds one per link; the profiler reads
+// the quantiles into the EXPLAIN ANALYZE report.
+//
+// observe() is one std::log plus an array increment — fine for the
+// per-frame path (a frame transmission dispatches dozens of simulator
+// events; the histogram is noise next to that). Exact min/max/sum are
+// tracked so quantiles clamp to observed values and never extrapolate
+// past the data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scsq::obs {
+
+class LogHistogram {
+ public:
+  /// Buckets span [lo, hi] in `buckets` geometric steps; values below lo
+  /// land in the first bucket, above hi in the last. lo must be > 0.
+  LogHistogram(double lo, double hi, int buckets);
+
+  /// Default shape for simulated-seconds latencies: 0.1 µs .. 100 s,
+  /// 9 decades at 8 buckets per decade (~33% bucket ratio).
+  LogHistogram() : LogHistogram(1e-7, 1e2, 72) {}
+
+  void observe(double v);
+
+  /// Merges another histogram with the identical bucket shape.
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Quantile q in [0,1]: geometric interpolation inside the bucket
+  /// holding the rank, clamped to the exact observed [min, max].
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// Lower/upper value edge of bucket i.
+  double bucket_lower(std::size_t i) const;
+  double bucket_upper(std::size_t i) const { return bucket_lower(i + 1); }
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_log_step_;  // buckets per log-unit
+  double log_lo_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace scsq::obs

@@ -164,8 +164,14 @@ std::uint64_t Registry::counter_total(const std::string& name) const {
   return total;
 }
 
-void Registry::write_prometheus(std::ostream& os) const {
+std::size_t Registry::write_prometheus(std::ostream& os, const std::string& filter) const {
+  std::size_t written = 0;
   for (const auto& e : entries_) {
+    if (!filter.empty() &&
+        metric_key(e.name, e.labels).find(filter) == std::string::npos) {
+      continue;
+    }
+    ++written;
     const std::string name = prom_name(e.name);
     switch (e.kind) {
       case Kind::kCounter:
@@ -199,6 +205,7 @@ void Registry::write_prometheus(std::ostream& os) const {
       }
     }
   }
+  return written;
 }
 
 void Registry::write_json(std::ostream& os) const {

@@ -121,7 +121,12 @@ class Registry {
   /// Prometheus-style text exposition: one `name{labels} value` line per
   /// metric, histograms as _bucket/_sum/_count series with cumulative
   /// le-bucket counts. Dots in names become underscores.
-  void write_prometheus(std::ostream& os) const;
+  void write_prometheus(std::ostream& os) const { write_prometheus(os, {}); }
+
+  /// Filtered exposition: only metrics whose `name{k=v,...}` key contains
+  /// `filter` as a substring (empty filter = everything). Returns the
+  /// number of series written (the shell's `\metrics <filter>` summary).
+  std::size_t write_prometheus(std::ostream& os, const std::string& filter) const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
   /// {...}} keyed by "name{k=v,...}". Single line, valid JSON (keys are

@@ -13,13 +13,20 @@ sim::Task<void> Link::run(Frame frame, std::function<void()> on_sender_free) {
   const bool window_full = window_.in_use() >= window_.capacity();
   if (window_full && metrics_.stalls) metrics_.stalls->inc();
   co_await window_.acquire();
-  if (metrics_.stall_seconds) metrics_.stall_seconds->add(sim_->now() - t0);
+  const double window_wait = sim_->now() - t0;
+  if (metrics_.stall_seconds) metrics_.stall_seconds->add(window_wait);
   co_await transmit_one(std::move(frame), std::move(on_sender_free));
   window_.release();
   const double t1 = sim_->now();
   if (metrics_.frames) metrics_.frames->inc();
   if (metrics_.bytes) metrics_.bytes->inc(payload);
   if (metrics_.frame_latency) metrics_.frame_latency->observe(t1 - t0);
+  stats_.frames += 1;
+  stats_.payload_bytes += payload;
+  stats_.wire_bytes += wire_bytes_for(payload);
+  stats_.transit_s += t1 - t0;
+  stats_.window_wait_s += window_wait;
+  stats_.latency.observe(t1 - t0);
   if (flow_trace_ && !eos) flow_trace_->flow(flow_from_, flow_to_, "frame", t0, t1);
   if (eos) {
     stream_ended();
@@ -101,6 +108,7 @@ sim::Task<void> SenderDriver::drain() {
     stall_seconds_ += sim_->now() - wait_start;
     const double marshal_cost = static_cast<double>(frame->bytes) *
                                 params_.marshal_per_byte_s * params_.factor(frame->bytes);
+    marshal_seconds_ += marshal_cost;
     co_await cpu_->use(marshal_cost);
     link_->start_transmit(std::move(*frame), [this] { slots_.release(); });
   }
@@ -115,7 +123,9 @@ ReceiverDriver::ReceiverDriver(sim::Simulator& sim, DriverParams params, sim::Re
 sim::Task<std::optional<catalog::Object>> ReceiverDriver::next() {
   while (ready_.empty()) {
     if (eos_) co_return std::nullopt;
+    const double wait_start = sim_->now();
     auto frame = co_await inbox_.recv();
+    wait_seconds_ += sim_->now() - wait_start;
     if (!frame) {  // channel force-closed (teardown)
       eos_ = true;
       co_return std::nullopt;
@@ -125,6 +135,7 @@ sim::Task<std::optional<catalog::Object>> ReceiverDriver::next() {
         static_cast<double>(frame->bytes) * params_.marshal_per_byte_s *
             params_.factor(frame->bytes) +
         static_cast<double>(frame->objects.size()) * params_.alloc_per_object_s;
+    demarshal_seconds_ += cost;
     co_await cpu_->use(cost);
     for (auto& o : frame->objects) ready_.push_back(std::move(o));
     if (frame->eos) eos_ = true;

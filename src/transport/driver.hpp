@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "catalog/object.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/resource.hpp"
@@ -61,6 +62,20 @@ struct LinkMetrics {
   obs::Histogram* frame_latency = nullptr;  ///< queue-entry -> inbox-delivery seconds
 };
 
+/// Per-link running totals the profiler reads back after a run (the
+/// registry metrics above are exporter-facing; these are analysis-facing
+/// and include the wire-byte accounting and the LogHistogram the
+/// EXPLAIN ANALYZE latency quantiles come from). Maintained inline in
+/// Link::run — plain adds plus one histogram observe per frame.
+struct LinkStats {
+  std::uint64_t frames = 0;         ///< frames delivered (incl. EOS)
+  std::uint64_t payload_bytes = 0;  ///< stream payload bytes
+  std::uint64_t wire_bytes = 0;     ///< payload rounded to wire granularity
+  double transit_s = 0.0;           ///< sum of queue-entry -> delivery times
+  double window_wait_s = 0.0;       ///< share of transit_s queued on the window
+  obs::LogHistogram latency;        ///< per-frame transit seconds
+};
+
 /// A transport connection carrying frames from one producer RP to one
 /// consumer RP's inbox, in order. Implementations (MPI over the torus,
 /// TCP via I/O nodes, node-local) live in transport/links.hpp.
@@ -90,6 +105,13 @@ class Link {
   /// Attaches registry handles; every delivered frame then updates them.
   void set_metrics(const LinkMetrics& metrics) { metrics_ = metrics; }
 
+  /// Protocol tag ("mpi", "tcp", ...), set by make_link.
+  void set_type(std::string type) { type_ = std::move(type); }
+  const std::string& type() const { return type_; }
+
+  /// Running per-link totals for the profiler (always maintained).
+  const LinkStats& stats() const { return stats_; }
+
   /// Attaches a trace: every delivered data frame records a flow arrow
   /// from `from_track` (at transmission start) to `to_track` (at inbox
   /// delivery) — the producer→consumer stream hand-off in Perfetto.
@@ -105,6 +127,14 @@ class Link {
   /// Called after the EOS frame is delivered; close flows etc.
   virtual void stream_ended() {}
 
+  /// Bytes a payload occupies on the wire. The default is the payload
+  /// itself; the MPI link rounds up to full torus packets (a partially
+  /// filled final packet still burns a full packet slot) — the
+  /// packetization-waste input to the profiler's attribution.
+  virtual std::uint64_t wire_bytes_for(std::uint64_t payload_bytes) const {
+    return payload_bytes;
+  }
+
   sim::Simulator& sim() { return *sim_; }
 
  private:
@@ -114,6 +144,8 @@ class Link {
   sim::Event drained_;
   sim::Resource window_;
   LinkMetrics metrics_;
+  LinkStats stats_;
+  std::string type_;
   sim::Trace* flow_trace_ = nullptr;
   std::string flow_from_;
   std::string flow_to_;
@@ -141,6 +173,12 @@ class SenderDriver {
   /// per-RP stall gauge (nonzero = the stream is transmit-bound).
   double stall_seconds() const { return stall_seconds_; }
 
+  /// Marshal CPU time charged by this sender (profiler input).
+  double marshal_seconds() const { return marshal_seconds_; }
+
+  /// The underlying connection (profiler reads its stats/type).
+  const Link& link() const { return *link_; }
+
  private:
   /// Single drainer coroutine: emits frames in cut order (marshal on the
   /// CPU, then hand to the link), serializing pushes and linger flushes.
@@ -159,6 +197,7 @@ class SenderDriver {
   std::uint64_t linger_generation_ = 0;
   bool finishing_ = false;
   double stall_seconds_ = 0.0;
+  double marshal_seconds_ = 0.0;
 };
 
 class ReceiverDriver {
@@ -175,6 +214,12 @@ class ReceiverDriver {
   bool eos_seen() const { return eos_; }
   std::uint64_t bytes_received() const { return bytes_; }
 
+  /// Time spent blocked on an empty inbox (queue-wait; profiler input).
+  double wait_seconds() const { return wait_seconds_; }
+
+  /// De-marshal + allocation CPU time charged by this receiver.
+  double demarshal_seconds() const { return demarshal_seconds_; }
+
  private:
   sim::Simulator* sim_;
   DriverParams params_;
@@ -183,6 +228,8 @@ class ReceiverDriver {
   std::deque<catalog::Object> ready_;
   bool eos_ = false;
   std::uint64_t bytes_ = 0;
+  double wait_seconds_ = 0.0;
+  double demarshal_seconds_ = 0.0;
 };
 
 }  // namespace scsq::transport

@@ -28,6 +28,12 @@ void MpiLink::unregister() {
   machine_->bg().torus().unregister_inbound_stream(dst_);
 }
 
+std::uint64_t MpiLink::wire_bytes_for(std::uint64_t payload_bytes) const {
+  const auto& torus = machine_->bg().torus();
+  return static_cast<std::uint64_t>(torus.packets_for(payload_bytes)) *
+         torus.params().packet_bytes;
+}
+
 sim::Task<void> MpiLink::transmit_one(Frame frame, std::function<void()> on_sender_free) {
   sim::Event freed(sim());
   sim::Event delivered(sim());
@@ -214,6 +220,7 @@ std::unique_ptr<Link> make_link(hw::Machine& machine, const hw::Location& src,
     type = "tcp";
   }
   attach_metrics(*link, machine, type, src, dst);
+  link->set_type(type);
   return link;
 }
 

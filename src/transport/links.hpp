@@ -31,6 +31,9 @@ class MpiLink final : public Link {
  protected:
   sim::Task<void> transmit_one(Frame frame, std::function<void()> on_sender_free) override;
   void stream_ended() override;
+  /// Rounds up to full torus packets: a partially filled final packet
+  /// still burns a full 1KB slot (the profiler's packetization waste).
+  std::uint64_t wire_bytes_for(std::uint64_t payload_bytes) const override;
 
  private:
   void unregister();

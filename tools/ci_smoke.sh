@@ -68,6 +68,31 @@ echo "select extract(b) from sp a, sp b
 validate_json "$TMPD/shell_trace.json"
 grep -q '# TYPE' "$TMPD/shell_out.txt" || { echo "missing \\metrics output"; exit 1; }
 
+# Profiler smoke: SCSQ_PROFILE_OUT must leave bench stdout byte-identical,
+# produce valid JSONL, and hold the attribution invariant (attributed
+# seconds sum to elapsed) for every sweep point.
+echo "== bench_fig6_p2p profile capture =="
+"$BUILD/bench/bench_fig6_p2p" > "$TMPD/fig6_plain.txt" 2> /dev/null
+SCSQ_PROFILE_OUT="$TMPD/fig6_profile.jsonl" \
+  "$BUILD/bench/bench_fig6_p2p" > "$TMPD/fig6_profiled.txt" 2> /dev/null
+cmp "$TMPD/fig6_plain.txt" "$TMPD/fig6_profiled.txt" || {
+  echo "SCSQ_PROFILE_OUT changed bench stdout"; exit 1; }
+validate_json "$TMPD/fig6_profile.jsonl"
+echo "   profile JSONL ok ($(wc -l < "$TMPD/fig6_profile.jsonl") records), stdout byte-identical"
+"$BUILD/tools/metrics_diff" --check-profile "$TMPD/fig6_profile.jsonl"
+
+# Shell EXPLAIN ANALYZE smoke on the Fig. 8 merge query: the report must
+# show the plan tree, a critical path, and a 100% attribution total.
+echo "== scsql_shell explain analyze =="
+echo "\\explain analyze select extract(c) from sp a, sp b, sp c
+ where c=sp(count(merge({a,b})), 'bg',0)
+ and a=sp(gen_array(100000,2),'bg',1)
+ and b=sp(gen_array(100000,2),'bg',2);" \
+  | "$BUILD/tools/scsql_shell" > "$TMPD/explain_out.txt"
+grep -q 'EXPLAIN ANALYZE' "$TMPD/explain_out.txt" || { echo "missing EXPLAIN ANALYZE header"; exit 1; }
+grep -q 'critical path:' "$TMPD/explain_out.txt" || { echo "missing critical path"; exit 1; }
+grep -Eq 'total +.* 100\.0%' "$TMPD/explain_out.txt" || { echo "attribution does not total 100%"; exit 1; }
+
 # Bench baseline self-check: committed "new" numbers must not regress
 # more than 20% against their recorded seeds.
 "$BUILD/tools/metrics_diff" --check BENCH_kernels.json

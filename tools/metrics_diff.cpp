@@ -1,7 +1,7 @@
 // metrics_diff — compare metrics/bench JSON documents and flag
 // performance regressions beyond a threshold.
 //
-// Two modes:
+// Modes:
 //
 //   metrics_diff [--threshold=0.2] --check BASELINE.json
 //     Self-check of a committed baseline (BENCH_kernels.json style):
@@ -10,19 +10,38 @@
 //     Also validates that the file parses as strict JSON. Objects with
 //     "seed": null (no pre-optimization measurement) are skipped.
 //
-//   metrics_diff [--threshold=0.2] OLD.json NEW.json
+//   metrics_diff [--threshold=0.2] [--filter=SUB] [--top=N] OLD.json NEW.json
 //     Structural diff: every numeric leaf is flattened to a dotted path
 //     (obs registry exports, bench JSONL records, bench baselines all
 //     work) and matching paths are compared. Leaves present in only one
 //     file are listed; a drop beyond the threshold at any shared path
 //     fails (exit 1). Files holding JSON-lines (one document per line,
 //     e.g. SCSQ_METRICS_OUT output) are wrapped into an array first.
+//     --filter keeps only leaf paths containing SUB; --top caps the
+//     CHANGED lines at the N largest relative changes (REGRESSION and
+//     ONLY-* lines always print).
 //
-// Exit codes: 0 ok, 1 regression found, 2 usage/parse error.
+//   metrics_diff --check-profile PROFILE.json
+//     Validates EXPLAIN ANALYZE output (SCSQ_PROFILE_OUT JSONL or a
+//     single profile document): every profile's attribution must sum to
+//     its elapsed time within 0.1% — the profiler's core invariant.
+//     Exit 1 when violated, exit 2 when the file holds no profiles.
+//
+//   metrics_diff [--threshold=0.2] --profile-diff OLD.json NEW.json
+//     Pairs profile records by position and compares per-cause
+//     attribution shares; fail (exit 1) when any cause's share of
+//     elapsed time grew by more than the threshold (absolute, e.g. 0.2
+//     = 20 percentage points) — gating attribution regressions such as
+//     packetization waste creeping up.
+//
+// Exit codes: 0 ok, 1 regression/violation found, 2 usage/parse error.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -118,13 +137,25 @@ int run_check(const std::string& path, double threshold) {
   return regressions > 0 ? 1 : 0;
 }
 
-int run_diff(const std::string& old_path, const std::string& new_path, double threshold) {
+int run_diff(const std::string& old_path, const std::string& new_path, double threshold,
+             const std::string& filter, long top) {
   const auto old_leaves = scsq::util::json::numeric_leaves(parse_file(old_path));
   const auto new_leaves = scsq::util::json::numeric_leaves(parse_file(new_path));
+  const auto matches = [&](const std::string& path) {
+    return filter.empty() || path.find(filter) != std::string::npos;
+  };
 
+  struct Change {
+    std::string path;
+    double old_value;
+    double new_value;
+    double pct;
+  };
+  std::vector<Change> changed;
   int regressions = 0;
   std::size_t shared = 0;
   for (const auto& [path, old_value] : old_leaves) {
+    if (!matches(path)) continue;
     auto it = new_leaves.find(path);
     if (it == new_leaves.end()) {
       std::printf("ONLY-OLD   %s = %g\n", path.c_str(), old_value);
@@ -137,11 +168,28 @@ int run_diff(const std::string& old_path, const std::string& new_path, double th
     const bool regressed = old_value > 0.0 && new_value < floor;
     const double pct =
         old_value != 0.0 ? (new_value - old_value) / old_value * 100.0 : 0.0;
-    std::printf("%s %s: %g -> %g (%+.1f%%)\n", regressed ? "REGRESSION" : "CHANGED   ",
-                path.c_str(), old_value, new_value, pct);
-    if (regressed) ++regressions;
+    if (regressed) {
+      std::printf("REGRESSION %s: %g -> %g (%+.1f%%)\n", path.c_str(), old_value,
+                  new_value, pct);
+      ++regressions;
+    } else {
+      changed.push_back({path, old_value, new_value, pct});
+    }
+  }
+  if (top >= 0 && changed.size() > static_cast<std::size_t>(top)) {
+    std::stable_sort(changed.begin(), changed.end(), [](const Change& a, const Change& b) {
+      return std::fabs(a.pct) > std::fabs(b.pct);
+    });
+    std::printf("(%zu changed leaf value(s), showing top %ld by |%%|)\n", changed.size(),
+                top);
+    changed.resize(static_cast<std::size_t>(top));
+  }
+  for (const auto& c : changed) {
+    std::printf("CHANGED    %s: %g -> %g (%+.1f%%)\n", c.path.c_str(), c.old_value,
+                c.new_value, c.pct);
   }
   for (const auto& [path, new_value] : new_leaves) {
+    if (!matches(path)) continue;
     if (!old_leaves.contains(path)) std::printf("ONLY-NEW   %s = %g\n", path.c_str(), new_value);
   }
   std::printf("%zu shared leaf value(s), %d regression(s) (threshold %.0f%%)\n", shared,
@@ -149,10 +197,143 @@ int run_diff(const std::string& old_path, const std::string& new_path, double th
   return regressions > 0 ? 1 : 0;
 }
 
-void usage() {
-  std::fprintf(stderr,
+// --- EXPLAIN ANALYZE profile checks ---
+
+/// A profile object: numeric "elapsed_s" plus an "attribution" object
+/// with numeric "attributed_total_s" (the obs::Profile JSON shape, found
+/// standalone or nested inside SCSQ_PROFILE_OUT records).
+bool is_profile(const Value& v) {
+  if (!v.is_object()) return false;
+  const Value* elapsed = v.find("elapsed_s");
+  const Value* attribution = v.find("attribution");
+  return elapsed != nullptr && elapsed->is_number() && attribution != nullptr &&
+         attribution->is_object() && attribution->find("attributed_total_s") != nullptr &&
+         attribution->find("attributed_total_s")->is_number();
+}
+
+void collect_profiles(const Value& v, std::vector<const Value*>* out) {
+  if (v.is_object()) {
+    if (is_profile(v)) {
+      out->push_back(&v);
+      return;
+    }
+    for (const auto& [key, member] : v.as_object()) collect_profiles(member, out);
+  } else if (v.is_array()) {
+    for (const auto& item : v.as_array()) collect_profiles(item, out);
+  }
+}
+
+int run_check_profile(const std::string& path) {
+  const Value doc = parse_file(path);
+  std::vector<const Value*> profiles;
+  collect_profiles(doc, &profiles);
+  if (profiles.empty()) {
+    std::fprintf(stderr, "metrics_diff: %s: no profiles found\n", path.c_str());
+    return 2;
+  }
+  constexpr double kTolerance = 1e-3;  // the ±0.1% attribution invariant
+  int violations = 0;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const double elapsed = profiles[i]->find("elapsed_s")->as_number();
+    const double attributed =
+        profiles[i]->find("attribution")->find("attributed_total_s")->as_number();
+    const double scale = std::max(std::fabs(elapsed), 1e-12);
+    if (std::fabs(attributed - elapsed) / scale > kTolerance) {
+      std::printf("VIOLATION profile[%zu]: attributed %.9g s != elapsed %.9g s (%.3f%% off)\n",
+                  i, attributed, elapsed,
+                  std::fabs(attributed - elapsed) / scale * 100.0);
+      ++violations;
+    }
+  }
+  std::printf("%s: %zu profile(s) checked, %d attribution violation(s)\n", path.c_str(),
+              profiles.size(), violations);
+  return violations > 0 ? 1 : 0;
+}
+
+/// cause -> share map from a profile's attribution.slices.
+std::map<std::string, double> shares_of(const Value& profile) {
+  std::map<std::string, double> shares;
+  const Value* attribution = profile.find("attribution");
+  const Value* slices = attribution != nullptr ? attribution->find("slices") : nullptr;
+  if (slices == nullptr || !slices->is_array()) return shares;
+  for (const auto& slice : slices->as_array()) {
+    if (!slice.is_object()) continue;
+    const Value* cause = slice.find("cause");
+    const Value* share = slice.find("share");
+    if (cause != nullptr && cause->is_string() && share != nullptr && share->is_number()) {
+      shares[cause->as_string()] = share->as_number();
+    }
+  }
+  return shares;
+}
+
+int run_profile_diff(const std::string& old_path, const std::string& new_path,
+                     double threshold) {
+  const Value old_doc = parse_file(old_path);
+  const Value new_doc = parse_file(new_path);
+  std::vector<const Value*> old_profiles, new_profiles;
+  collect_profiles(old_doc, &old_profiles);
+  collect_profiles(new_doc, &new_profiles);
+  if (old_profiles.empty() || new_profiles.empty()) {
+    std::fprintf(stderr, "metrics_diff: no profiles to compare (%zu old, %zu new)\n",
+                 old_profiles.size(), new_profiles.size());
+    return 2;
+  }
+  const std::size_t pairs = std::min(old_profiles.size(), new_profiles.size());
+  if (old_profiles.size() != new_profiles.size()) {
+    std::printf("(profile counts differ: %zu old vs %zu new; comparing first %zu)\n",
+                old_profiles.size(), new_profiles.size(), pairs);
+  }
+  int regressions = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto old_shares = shares_of(*old_profiles[i]);
+    const auto new_shares = shares_of(*new_profiles[i]);
+    for (const auto& [cause, new_share] : new_shares) {
+      const auto it = old_shares.find(cause);
+      const double old_share = it != old_shares.end() ? it->second : 0.0;
+      const double delta = new_share - old_share;
+      if (delta > threshold) {
+        std::printf("REGRESSION profile[%zu] %s: share %.1f%% -> %.1f%% (+%.1f points)\n",
+                    i, cause.c_str(), old_share * 100.0, new_share * 100.0, delta * 100.0);
+        ++regressions;
+      } else if (std::fabs(delta) > 0.01) {
+        std::printf("CHANGED    profile[%zu] %s: share %.1f%% -> %.1f%%\n", i,
+                    cause.c_str(), old_share * 100.0, new_share * 100.0);
+      }
+    }
+  }
+  std::printf("%zu profile pair(s) compared, %d attribution regression(s) (threshold %.0f points)\n",
+              pairs, regressions, threshold * 100.0);
+  return regressions > 0 ? 1 : 0;
+}
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
                "usage: metrics_diff [--threshold=FRACTION] --check BASELINE.json\n"
-               "       metrics_diff [--threshold=FRACTION] OLD.json NEW.json\n");
+               "       metrics_diff [--threshold=FRACTION] [--filter=SUB] [--top=N] "
+               "OLD.json NEW.json\n"
+               "       metrics_diff --check-profile PROFILE.json\n"
+               "       metrics_diff [--threshold=FRACTION] --profile-diff OLD.json NEW.json\n"
+               "\n"
+               "  --threshold=F   regression tolerance, 0 <= F < 1 (default 0.2).\n"
+               "                  diff/check: flag drops below old*(1-F);\n"
+               "                  profile-diff: flag share growth above F (absolute).\n"
+               "  --filter=SUB    diff mode: only leaf paths containing SUB\n"
+               "  --top=N         diff mode: show the N largest CHANGED lines by |%%|\n"
+               "                  (REGRESSION and ONLY-* lines always print)\n"
+               "  --check-profile validate EXPLAIN ANALYZE attribution sums\n"
+               "  --profile-diff  compare per-cause attribution shares by position\n"
+               "  --help          print this help and exit 0\n"
+               "\n"
+               "exit codes:\n"
+               "  0  no regressions / invariants hold\n"
+               "  1  regression or attribution violation found\n"
+               "  2  usage error, unreadable file, invalid JSON, or no\n"
+               "     measurements/profiles found where some were required\n");
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -161,25 +342,61 @@ void usage() {
 int main(int argc, char** argv) {
   double threshold = 0.2;
   bool check = false;
+  bool check_profile = false;
+  bool profile_diff = false;
+  std::string filter;
+  long top = -1;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threshold=", 0) == 0) {
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
       char* end = nullptr;
       threshold = std::strtod(arg.c_str() + std::strlen("--threshold="), &end);
       if (end == nullptr || *end != '\0' || threshold < 0.0 || threshold >= 1.0) {
         std::fprintf(stderr, "metrics_diff: bad threshold '%s'\n", arg.c_str());
         return 2;
       }
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(std::strlen("--filter="));
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
+    } else if (arg.rfind("--top=", 0) == 0) {
+      char* end = nullptr;
+      top = std::strtol(arg.c_str() + std::strlen("--top="), &end, 10);
+      if (end == nullptr || *end != '\0' || top < 0) {
+        std::fprintf(stderr, "metrics_diff: bad top '%s'\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg == "--top" && i + 1 < argc) {
+      char* end = nullptr;
+      top = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || top < 0) {
+        std::fprintf(stderr, "metrics_diff: bad top '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--check-profile") {
+      check_profile = true;
+    } else if (arg == "--profile-diff") {
+      profile_diff = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
       files.push_back(arg);
     }
   }
+  if (check + check_profile + profile_diff > 1) usage();
   if (check && files.size() == 1) return run_check(files[0], threshold);
-  if (!check && files.size() == 2) return run_diff(files[0], files[1], threshold);
+  if (check_profile && files.size() == 1) return run_check_profile(files[0]);
+  if (profile_diff && files.size() == 2) {
+    return run_profile_diff(files[0], files[1], threshold);
+  }
+  if (!check && !check_profile && !profile_diff && files.size() == 2) {
+    return run_diff(files[0], files[1], threshold, filter, top);
+  }
   usage();
 }

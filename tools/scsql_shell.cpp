@@ -17,8 +17,19 @@
 // measurement methodology uses.
 //
 // Shell commands (a line of their own in the script/stdin):
-//   \metrics   print the metrics-registry snapshot (Prometheus text
-//              format) and the per-RP table of the last query
+//   \metrics [filter] [> file]
+//              print the metrics-registry snapshot (Prometheus text
+//              format) and the per-RP table of the last query. With a
+//              filter argument only series whose name{labels} key
+//              contains it are shown; with "> file" the Prometheus text
+//              goes to the file instead of stdout (a summary line is
+//              printed).
+//   \explain analyze <query>;
+//              run the query (which may span several lines, up to the
+//              terminating ';') and print the EXPLAIN ANALYZE report:
+//              the measured dataflow plan tree, the critical path, and
+//              the per-cause time attribution.
+//   \profile   print the EXPLAIN ANALYZE report of the last query.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -48,17 +59,43 @@ void print_rp_table(const scsq::exec::RunReport& report) {
   }
 }
 
-void print_metrics(scsq::Scsq& scsq, const scsq::exec::RunReport* last_report) {
+void print_metrics(scsq::Scsq& scsq, const scsq::exec::RunReport* last_report,
+                   const std::string& filter, const std::string& out_path) {
   scsq.machine().publish_metrics();
   auto& registry = scsq.machine().metrics();
-  std::printf("-- metrics snapshot (%zu series)\n", registry.size());
   std::ostringstream os;
-  registry.write_prometheus(os);
+  const std::size_t written = registry.write_prometheus(os, filter);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::printf("-- cannot open %s\n", out_path.c_str());
+      return;
+    }
+    out << os.str();
+    std::printf("-- %zu series written to %s\n", written, out_path.c_str());
+    return;
+  }
+  if (filter.empty()) {
+    std::printf("-- metrics snapshot (%zu series)\n", registry.size());
+  } else {
+    std::printf("-- metrics snapshot (%zu of %zu series match '%s')\n", written,
+                registry.size(), filter.c_str());
+  }
   std::fputs(os.str().c_str(), stdout);
   if (last_report != nullptr && !last_report->rps.empty()) {
     std::printf("-- per-RP stats of the last query\n");
     print_rp_table(*last_report);
   }
+}
+
+void print_profile(scsq::Scsq& scsq, const scsq::exec::RunReport* last_report) {
+  if (last_report == nullptr || last_report->rp_count == 0) {
+    std::printf("-- no query to profile\n");
+    return;
+  }
+  std::ostringstream os;
+  scsq.engine().profile(*last_report).render_text(os);
+  std::fputs(os.str().c_str(), stdout);
 }
 
 void print_report(const scsq::exec::RunReport& report, bool verbose) {
@@ -83,6 +120,19 @@ std::string trimmed(const std::string& s) {
   if (first == std::string::npos) return {};
   const auto last = s.find_last_not_of(" \t\r\n");
   return s.substr(first, last - first + 1);
+}
+
+// "\metrics", "\metrics link", "\metrics > snap.prom",
+// "\metrics transport > snap.prom" — filter before '>', path after.
+void parse_metrics_args(const std::string& rest, std::string& filter,
+                        std::string& out_path) {
+  const auto gt = rest.find('>');
+  if (gt == std::string::npos) {
+    filter = trimmed(rest);
+  } else {
+    filter = trimmed(rest.substr(0, gt));
+    out_path = trimmed(rest.substr(gt + 1));
+  }
 }
 
 }  // namespace
@@ -135,20 +185,60 @@ int main(int argc, char** argv) {
   };
 
   try {
-    // Line-based pass so shell commands (\metrics) can punctuate the
-    // SCSQL statements; the text between commands goes to the parser
-    // unchanged.
+    // Line-based pass so shell commands (\metrics, \explain analyze,
+    // \profile) can punctuate the SCSQL statements; the text between
+    // commands goes to the parser unchanged.
     std::string pending;
+    // Statement text being collected for \explain analyze (multi-line,
+    // up to the terminating ';'); empty = not collecting.
+    std::string explain_pending;
     std::istringstream lines(source);
     std::string line;
     while (std::getline(lines, line)) {
-      if (trimmed(line) == "\\metrics") {
+      const std::string t = trimmed(line);
+      if (!explain_pending.empty()) {
+        explain_pending += line;
+        explain_pending += '\n';
+        if (t.find(';') == std::string::npos) continue;
+        run_pending(explain_pending);
+        print_profile(scsq, have_report ? &last_report : nullptr);
+        explain_pending.clear();
+        continue;
+      }
+      if (t.rfind("\\metrics", 0) == 0 &&
+          (t.size() == 8 || t[8] == ' ' || t[8] == '\t' || t[8] == '>')) {
         run_pending(pending);
-        print_metrics(scsq, have_report ? &last_report : nullptr);
+        std::string filter, out_path;
+        parse_metrics_args(t.substr(8), filter, out_path);
+        print_metrics(scsq, have_report ? &last_report : nullptr, filter, out_path);
+        continue;
+      }
+      if (t == "\\profile") {
+        run_pending(pending);
+        print_profile(scsq, have_report ? &last_report : nullptr);
+        continue;
+      }
+      if (t.rfind("\\explain analyze", 0) == 0) {
+        run_pending(pending);
+        std::string stmt = trimmed(t.substr(16));
+        if (stmt.empty()) {
+          std::printf("-- usage: \\explain analyze <query>;\n");
+          continue;
+        }
+        if (stmt.find(';') == std::string::npos) {
+          explain_pending = stmt + '\n';  // keep collecting lines
+          continue;
+        }
+        run_pending(stmt);
+        print_profile(scsq, have_report ? &last_report : nullptr);
         continue;
       }
       pending += line;
       pending += '\n';
+    }
+    if (!explain_pending.empty()) {
+      run_pending(explain_pending);
+      print_profile(scsq, have_report ? &last_report : nullptr);
     }
     run_pending(pending);
   } catch (const scsq::scsql::Error& e) {
