@@ -47,18 +47,126 @@ BENCHMARK(BM_UnmarshalDArray)->Arg(1024)->Arg(65536);
 
 void BM_FrameCutter(benchmark::State& state) {
   const auto buffer = static_cast<std::uint64_t>(state.range(0));
+  scsq::transport::FramePool pool;
+  std::vector<scsq::transport::Frame> scratch;
   for (auto _ : state) {
-    scsq::transport::FrameCutter cutter(buffer);
+    scsq::transport::FrameCutter cutter(buffer, &pool);
     std::size_t frames = 0;
     for (int i = 0; i < 64; ++i) {
-      frames += cutter.push(Object{scsq::catalog::SynthArray{30'000, 0}}).size();
+      scratch.clear();
+      cutter.push(Object{scsq::catalog::SynthArray{30'000, 0}}, scratch);
+      frames += scratch.size();
+      for (auto& f : scratch) pool.recycle(std::move(f));
     }
     frames += 1;
-    (void)cutter.finish();
+    pool.recycle(cutter.finish());
     benchmark::DoNotOptimize(frames);
   }
 }
 BENCHMARK(BM_FrameCutter)->Arg(1000)->Arg(65536);
+
+// Round-trip through the flat MarshalWriter/MarshalReader with the
+// encode buffer reused across iterations — the capacity-reuse idiom of
+// the data plane. Payloads mirror the stream shapes the figure benches
+// push: bags of scalars, bags of strings, a 1 K-element signal array,
+// and a nested mixed bag with SynthArray descriptors.
+Object make_marshal_payload(const std::string& which) {
+  using scsq::catalog::Bag;
+  using scsq::catalog::SynthArray;
+  if (which == "int") {
+    Bag b;
+    for (int i = 0; i < 64; ++i) b.emplace_back(i);
+    return Object{std::move(b)};
+  }
+  if (which == "str") {
+    Bag b;
+    for (int i = 0; i < 64; ++i)
+      b.emplace_back(std::string("stream-payload-string-") + std::to_string(i));
+    return Object{std::move(b)};
+  }
+  if (which == "darray") {
+    std::vector<double> a(1024);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i) * 0.5;
+    return Object{std::move(a)};
+  }
+  // bag: nested mixed bag
+  Bag outer;
+  for (int i = 0; i < 16; ++i) {
+    Bag inner;
+    inner.emplace_back(i);
+    inner.emplace_back(0.5 * i);
+    inner.emplace_back(std::string("k") + std::to_string(i));
+    inner.emplace_back(SynthArray{1000, static_cast<std::uint64_t>(i)});
+    outer.emplace_back(std::move(inner));
+  }
+  return Object{std::move(outer)};
+}
+
+void BM_MarshalRoundTrip(benchmark::State& state, const char* which) {
+  Object obj = make_marshal_payload(which);
+  std::vector<std::uint8_t> buf;
+  scsq::transport::MarshalWriter writer(buf);
+  // Steady-state decode: every iteration rematerializes into the same
+  // object tree (read_into), so warm capacities make the loop
+  // allocation-free — the receive-side counterpart of the reused buf.
+  Object back;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    buf.clear();
+    writer.write(obj);
+    scsq::transport::MarshalReader reader(buf);
+    reader.read_into(back);
+    benchmark::DoNotOptimize(back);
+    bytes += buf.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK_CAPTURE(BM_MarshalRoundTrip, int, "int");
+BENCHMARK_CAPTURE(BM_MarshalRoundTrip, str, "str");
+BENCHMARK_CAPTURE(BM_MarshalRoundTrip, darray, "darray");
+BENCHMARK_CAPTURE(BM_MarshalRoundTrip, bag, "bag");
+
+// Many small objects over a small buffer: every cut moves completed
+// objects out of the pending queue (the object-churn path). Pool +
+// scratch reuse, as the sender driver runs it.
+void BM_FrameCutterCut(benchmark::State& state) {
+  scsq::transport::FramePool pool;
+  std::vector<scsq::transport::Frame> scratch;
+  for (auto _ : state) {
+    scsq::transport::FrameCutter cutter(100, &pool);
+    std::size_t objects = 0;
+    for (int i = 0; i < 256; ++i) {
+      scratch.clear();
+      cutter.push(Object{i}, scratch);
+      for (auto& f : scratch) {
+        objects += f.objects.size();
+        pool.recycle(std::move(f));
+      }
+    }
+    auto last = cutter.finish();
+    objects += last.objects.size();
+    pool.recycle(std::move(last));
+    benchmark::DoNotOptimize(objects);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_FrameCutterCut);
+
+// Steady-state pool cycle: acquire a frame, fill it, recycle it. After
+// warm-up every acquire is served from the free list — this measures
+// the zero-churn fast path itself.
+void BM_FramePoolRecycle(benchmark::State& state) {
+  scsq::transport::FramePool pool;
+  for (auto _ : state) {
+    auto frame = pool.acquire();
+    frame.bytes = 4096;
+    frame.objects.emplace_back(scsq::catalog::SynthArray{4096, 0});
+    benchmark::DoNotOptimize(frame.objects.data());
+    pool.recycle(std::move(frame));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FramePoolRecycle);
 
 void BM_TorusRoute(benchmark::State& state) {
   scsq::net::Torus3D torus(8, 8, 8);

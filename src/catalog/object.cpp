@@ -1,6 +1,8 @@
 #include "catalog/object.hpp"
 
+#include <cstring>
 #include <sstream>
+#include <string_view>
 
 namespace scsq::catalog {
 
@@ -20,11 +22,88 @@ const char* kind_name(Kind kind) {
   return "?";
 }
 
+Object::Object(Bag v) : kind_(Kind::kBag) { new (&pay_.bag) Bag(std::move(v)); }
+
+Object::Object(std::vector<double> v) : kind_(Kind::kDArray) {
+  new (&pay_.da) std::vector<double>(std::move(v));
+}
+
+Object::Object(std::vector<std::complex<double>> v) : kind_(Kind::kCArray) {
+  new (&pay_.ca) std::vector<std::complex<double>>(std::move(v));
+}
+
+Object::Object(SpHandle v) : kind_(Kind::kSp) {
+  if (v.cluster.size() <= kSpInlineCap) {
+    pay_.spi.id = v.id;
+    pay_.spi.len = static_cast<std::uint8_t>(v.cluster.size());
+    std::memcpy(pay_.spi.cluster, v.cluster.data(), v.cluster.size());
+  } else {
+    flags_ = kSpBoxed;
+    pay_.sp = new SpHandle(std::move(v));
+  }
+}
+
+void Object::copy_from(const Object& other) {
+  kind_ = other.kind_;
+  flags_ = other.flags_;
+  switch (kind_) {
+    case Kind::kStr:
+      new (&pay_.str) std::string(other.pay_.str);
+      break;
+    case Kind::kBag:
+      new (&pay_.bag) Bag(other.pay_.bag);
+      break;
+    case Kind::kDArray:
+      new (&pay_.da) std::vector<double>(other.pay_.da);
+      break;
+    case Kind::kCArray:
+      new (&pay_.ca) std::vector<std::complex<double>>(other.pay_.ca);
+      break;
+    case Kind::kSp:
+      if (flags_ & kSpBoxed) {
+        pay_.sp = new SpHandle(*other.pay_.sp);
+        break;
+      }
+      [[fallthrough]];
+    default:
+      // Inline payloads are flat bytes; copy the widest member. (void*
+      // casts: the union has non-trivial members, but only flat ones
+      // are live on this path.)
+      std::memcpy(static_cast<void*>(&pay_), static_cast<const void*>(&other.pay_),
+                  sizeof(Payload));
+      break;
+  }
+}
+
+SpHandle Object::as_sp() const {
+  require(Kind::kSp);
+  if (flags_ & kSpBoxed) return *pay_.sp;
+  return SpHandle{pay_.spi.id, std::string(pay_.spi.cluster, pay_.spi.len)};
+}
+
 double Object::as_number() const {
-  if (kind() == Kind::kInt) return static_cast<double>(as_int());
+  if (kind() == Kind::kInt) return as_int();
   if (kind() == Kind::kReal) return as_real();
   SCSQ_CHECK(false) << "object is not numeric: " << kind_name(kind());
   return 0.0;
+}
+
+bool Object::operator==(const Object& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kInt: return pay_.i == other.pay_.i;
+    case Kind::kReal: return pay_.r == other.pay_.r;
+    case Kind::kBool: return pay_.b == other.pay_.b;
+    case Kind::kStr: return pay_.str == other.pay_.str;
+    case Kind::kBag: return pay_.bag == other.pay_.bag;
+    case Kind::kDArray: return pay_.da == other.pay_.da;
+    case Kind::kCArray: return pay_.ca == other.pay_.ca;
+    case Kind::kSynth: return pay_.synth == other.pay_.synth;
+    case Kind::kSp:
+      return sp_id() == other.sp_id() && sp_cluster() == other.sp_cluster();
+  }
+  return false;
 }
 
 std::string Object::to_string() const {
@@ -81,36 +160,10 @@ std::string Object::to_string() const {
       os << "syntharray(" << as_synth().bytes << " bytes, #" << as_synth().seq << ')';
       break;
     case Kind::kSp:
-      os << "sp#" << as_sp().id << '@' << as_sp().cluster;
+      os << "sp#" << sp_id() << '@' << sp_cluster();
       break;
   }
   return os.str();
-}
-
-std::uint64_t Object::marshaled_size() const {
-  // Must stay in sync with transport/marshal.cpp. 1-byte kind tag, then
-  // the payload encoding (8-byte lengths and fixed-width scalars).
-  constexpr std::uint64_t kTag = 1;
-  switch (kind()) {
-    case Kind::kNull: return kTag;
-    case Kind::kInt: return kTag + 8;
-    case Kind::kReal: return kTag + 8;
-    case Kind::kBool: return kTag + 1;
-    case Kind::kStr: return kTag + 8 + as_str().size();
-    case Kind::kBag: {
-      std::uint64_t total = kTag + 8;
-      for (const auto& o : as_bag()) total += o.marshaled_size();
-      return total;
-    }
-    case Kind::kDArray: return kTag + 8 + 8 * static_cast<std::uint64_t>(as_darray().size());
-    case Kind::kCArray: return kTag + 8 + 16 * static_cast<std::uint64_t>(as_carray().size());
-    case Kind::kSynth:
-      // Simulated payload bytes plus the descriptor header.
-      return kTag + 16 + as_synth().bytes;
-    case Kind::kSp: return kTag + 8 + 8 + as_sp().cluster.size();
-  }
-  SCSQ_CHECK(false) << "unreachable";
-  return 0;
 }
 
 }  // namespace scsq::catalog

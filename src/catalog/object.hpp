@@ -14,13 +14,28 @@
 // transfer costs byte-exactly. Real arrays (DArray) flow through the
 // same drivers for the FFT and grep examples, and the binary marshal
 // round-trip is tested for every kind.
+//
+// Storage layout (small-value optimization): Object is a hand-rolled
+// tagged union instead of a std::variant. Null/Int/Real/Bool/SynthArray
+// and SpHandles with short cluster names live inline and never touch
+// the heap — moving one is a flat copy of the payload word(s). Strings
+// (std::string's own SSO applies) and the container kinds live inline
+// in the union as well, so constructing a bag or array costs exactly
+// its element storage — no box indirection. Only SpHandles with long
+// cluster names are boxed. sizeof(Object) is 40 bytes (vs 48 for the
+// variant), and the kind dispatch in move/copy/destroy is a single
+// branch for the trivial kinds instead of variant's index table. The
+// stream data plane moves Objects constantly (cutter -> frame ->
+// receiver -> operators); this layout is what makes those moves
+// allocation-free for the paper's SynthArray/count streams.
 #pragma once
 
 #include <complex>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
-#include <variant>
+#include <string_view>
 #include <vector>
 
 #include "util/logging.hpp"
@@ -68,40 +83,145 @@ const char* kind_name(Kind kind);
 
 class Object {
  public:
-  Object() : value_(std::monostate{}) {}
-  Object(std::int64_t v) : value_(v) {}                       // NOLINT(google-explicit-constructor)
-  Object(int v) : value_(static_cast<std::int64_t>(v)) {}     // NOLINT
-  Object(double v) : value_(v) {}                             // NOLINT
-  Object(bool v) : value_(v) {}                               // NOLINT
-  Object(std::string v) : value_(std::move(v)) {}             // NOLINT
-  Object(const char* v) : value_(std::string(v)) {}           // NOLINT
-  Object(Bag v) : value_(std::move(v)) {}                     // NOLINT
-  Object(std::vector<double> v) : value_(std::move(v)) {}     // NOLINT
-  Object(std::vector<std::complex<double>> v) : value_(std::move(v)) {}  // NOLINT
-  Object(SynthArray v) : value_(v) {}                         // NOLINT
-  Object(SpHandle v) : value_(std::move(v)) {}                // NOLINT
+  Object() noexcept : kind_(Kind::kNull) {}
+  Object(std::int64_t v) noexcept : kind_(Kind::kInt) { pay_.i = v; }  // NOLINT(google-explicit-constructor)
+  Object(int v) noexcept : Object(static_cast<std::int64_t>(v)) {}    // NOLINT
+  Object(double v) noexcept : kind_(Kind::kReal) { pay_.r = v; }      // NOLINT
+  Object(bool v) noexcept : kind_(Kind::kBool) { pay_.b = v; }        // NOLINT
+  Object(std::string v) : kind_(Kind::kStr) {                         // NOLINT
+    new (&pay_.str) std::string(std::move(v));
+  }
+  Object(const char* v) : Object(std::string(v)) {}                   // NOLINT
+  Object(Bag v);                                                      // NOLINT
+  Object(std::vector<double> v);                                      // NOLINT
+  Object(std::vector<std::complex<double>> v);                        // NOLINT
+  Object(SynthArray v) noexcept : kind_(Kind::kSynth) { pay_.synth = v; }  // NOLINT
+  Object(SpHandle v);                                                 // NOLINT
 
-  Kind kind() const { return static_cast<Kind>(value_.index()); }
-  bool is_null() const { return kind() == Kind::kNull; }
+  Object(const Object& other) { copy_from(other); }
+  Object(Object&& other) noexcept { steal_from(other); }
+  Object& operator=(const Object& other) {
+    if (this != &other) {
+      destroy();
+      copy_from(other);
+    }
+    return *this;
+  }
+  Object& operator=(Object&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal_from(other);
+    }
+    return *this;
+  }
+  ~Object() { destroy(); }
+
+  /// Scalar assignment without a temporary Object: the steady-state
+  /// decode path re-fills recycled slots with these.
+  Object& operator=(std::int64_t v) noexcept {
+    destroy();
+    kind_ = Kind::kInt;
+    flags_ = 0;
+    pay_.i = v;
+    return *this;
+  }
+  Object& operator=(double v) noexcept {
+    destroy();
+    kind_ = Kind::kReal;
+    flags_ = 0;
+    pay_.r = v;
+    return *this;
+  }
+  Object& operator=(bool v) noexcept {
+    destroy();
+    kind_ = Kind::kBool;
+    flags_ = 0;
+    pay_.b = v;
+    return *this;
+  }
+  Object& operator=(int v) noexcept { return *this = static_cast<std::int64_t>(v); }
+  Object& operator=(SynthArray v) noexcept {
+    destroy();
+    kind_ = Kind::kSynth;
+    flags_ = 0;
+    pay_.synth = v;
+    return *this;
+  }
+  // Without these, `o = "text"` would silently pick operator=(bool) via
+  // pointer->bool conversion.
+  Object& operator=(std::string v) {
+    if (kind_ == Kind::kStr) {
+      pay_.str = std::move(v);
+    } else {
+      destroy();
+      kind_ = Kind::kStr;
+      flags_ = 0;
+      new (&pay_.str) std::string(std::move(v));
+    }
+    return *this;
+  }
+  Object& operator=(const char* v) { return *this = std::string(v); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
 
   /// Typed accessors; SCSQ_CHECK on kind mismatch (callers validate
   /// kinds at plan build time, so a mismatch here is a programmer error).
-  std::int64_t as_int() const { return get<std::int64_t>(); }
-  double as_real() const { return get<double>(); }
+  std::int64_t as_int() const {
+    require(Kind::kInt);
+    return pay_.i;
+  }
+  double as_real() const {
+    require(Kind::kReal);
+    return pay_.r;
+  }
   /// Numeric coercion: int or real as double.
   double as_number() const;
-  bool as_bool() const { return get<bool>(); }
-  const std::string& as_str() const { return get<std::string>(); }
-  const Bag& as_bag() const { return get<Bag>(); }
-  Bag& as_bag() { return std::get<Bag>(value_); }
-  const std::vector<double>& as_darray() const { return get<std::vector<double>>(); }
-  const std::vector<std::complex<double>>& as_carray() const {
-    return get<std::vector<std::complex<double>>>();
+  bool as_bool() const {
+    require(Kind::kBool);
+    return pay_.b;
   }
-  const SynthArray& as_synth() const { return get<SynthArray>(); }
-  const SpHandle& as_sp() const { return get<SpHandle>(); }
+  const std::string& as_str() const {
+    require(Kind::kStr);
+    return pay_.str;
+  }
+  std::string& as_str() {
+    require(Kind::kStr);
+    return pay_.str;
+  }
+  const Bag& as_bag() const {
+    require(Kind::kBag);
+    return pay_.bag;
+  }
+  Bag& as_bag() {
+    require(Kind::kBag);
+    return pay_.bag;
+  }
+  const std::vector<double>& as_darray() const {
+    require(Kind::kDArray);
+    return pay_.da;
+  }
+  std::vector<double>& as_darray() {
+    require(Kind::kDArray);
+    return pay_.da;
+  }
+  const std::vector<std::complex<double>>& as_carray() const {
+    require(Kind::kCArray);
+    return pay_.ca;
+  }
+  std::vector<std::complex<double>>& as_carray() {
+    require(Kind::kCArray);
+    return pay_.ca;
+  }
+  const SynthArray& as_synth() const {
+    require(Kind::kSynth);
+    return pay_.synth;
+  }
+  /// By value: short cluster names are stored inline (no SpHandle object
+  /// exists to reference); the returned copy is SSO-cheap.
+  SpHandle as_sp() const;
 
-  bool operator==(const Object& other) const { return value_ == other.value_; }
+  bool operator==(const Object& other) const;
 
   /// Renders the object for query results and debugging (bags as
   /// {a, b, ...}, arrays elided beyond a few elements).
@@ -109,19 +229,154 @@ class Object {
 
   /// Size of this object when marshaled by the stream drivers
   /// (1-byte kind tag + payload; see transport/marshal for the format).
+  /// Defined inline below: the frame cutter calls it once per pushed
+  /// object, so it must fold into the caller.
   std::uint64_t marshaled_size() const;
 
  private:
-  template <class T>
-  const T& get() const {
-    const T* p = std::get_if<T>(&value_);
-    SCSQ_CHECK(p != nullptr) << "object kind mismatch: have " << kind_name(kind());
-    return *p;
+  // Cluster names up to kSpInlineCap chars ("bg", "fe", "be", ...) keep
+  // the whole handle in the payload word; longer names fall back to a
+  // boxed SpHandle (flags_ & kSpBoxed).
+  static constexpr std::size_t kSpInlineCap = 7;
+  static constexpr std::uint8_t kSpBoxed = 1;
+
+  struct SpInline {
+    std::uint64_t id;
+    char cluster[kSpInlineCap];
+    std::uint8_t len;
+  };
+  static_assert(sizeof(SpInline) == 16);
+
+  union Payload {
+    Payload() noexcept {}
+    ~Payload() noexcept {}
+    std::int64_t i;
+    double r;
+    bool b;
+    SynthArray synth;
+    SpInline spi;
+    std::string str;
+    Bag bag;
+    std::vector<double> da;
+    std::vector<std::complex<double>> ca;
+    SpHandle* sp;  // boxed: cluster name longer than kSpInlineCap
+  };
+
+  void require(Kind want) const {
+    SCSQ_CHECK(kind_ == want) << "object kind mismatch: have " << kind_name(kind_)
+                              << ", want " << kind_name(want);
   }
 
-  std::variant<std::monostate, std::int64_t, double, bool, std::string, Bag,
-               std::vector<double>, std::vector<std::complex<double>>, SynthArray, SpHandle>
-      value_;
+  // The heap-owning kinds kStr..kCArray have contiguous tags, so the
+  // hot move/destroy paths dispatch with a single range check before
+  // falling into a jump table — streams of scalars/SynthArrays take one
+  // predicted branch per object.
+  static bool owns_heap(Kind k) { return k >= Kind::kStr && k <= Kind::kCArray; }
+
+  // destroy/steal_from are defined inline below: they run once per
+  // Object move on the data plane (cutter, frames, channels), where an
+  // out-of-line call would dominate the work itself.
+  void destroy() noexcept;
+  void copy_from(const Object& other);
+  void steal_from(Object& other) noexcept;
+
+  // Non-allocating Sp access for comparison/printing/sizing.
+  std::uint64_t sp_id() const { return (flags_ & kSpBoxed) ? pay_.sp->id : pay_.spi.id; }
+  std::string_view sp_cluster() const {
+    return (flags_ & kSpBoxed) ? std::string_view(pay_.sp->cluster)
+                               : std::string_view(pay_.spi.cluster, pay_.spi.len);
+  }
+
+  Kind kind_;
+  std::uint8_t flags_ = 0;
+  Payload pay_;
 };
+
+static_assert(sizeof(Object) <= 40, "Object grew past its SVO budget");
+
+inline void Object::destroy() noexcept {
+  if (!owns_heap(kind_)) {
+    if (kind_ == Kind::kSp && (flags_ & kSpBoxed)) delete pay_.sp;
+    return;
+  }
+  switch (kind_) {
+    case Kind::kStr:
+      pay_.str.~basic_string();
+      break;
+    case Kind::kBag:
+      pay_.bag.~vector();
+      break;
+    case Kind::kDArray:
+      pay_.da.~vector();
+      break;
+    case Kind::kCArray:
+      pay_.ca.~vector();
+      break;
+    default:
+      break;
+  }
+}
+
+inline void Object::steal_from(Object& other) noexcept {
+  kind_ = other.kind_;
+  flags_ = other.flags_;
+  if (!owns_heap(kind_)) {
+    // Inline payloads are flat bytes; a boxed SpHandle is a pointer
+    // whose ownership transfers with the copy (other is nulled below).
+    // (void* casts: the union has non-trivial members, but only flat
+    // ones are live on this path.)
+    std::memcpy(static_cast<void*>(&pay_), static_cast<const void*>(&other.pay_),
+                sizeof(Payload));
+  } else {
+    switch (kind_) {
+      case Kind::kStr:
+        new (&pay_.str) std::string(std::move(other.pay_.str));
+        other.pay_.str.~basic_string();
+        break;
+      case Kind::kBag:
+        new (&pay_.bag) Bag(std::move(other.pay_.bag));
+        other.pay_.bag.~vector();
+        break;
+      case Kind::kDArray:
+        new (&pay_.da) std::vector<double>(std::move(other.pay_.da));
+        other.pay_.da.~vector();
+        break;
+      case Kind::kCArray:
+        new (&pay_.ca) std::vector<std::complex<double>>(std::move(other.pay_.ca));
+        other.pay_.ca.~vector();
+        break;
+      default:
+        break;
+    }
+  }
+  other.kind_ = Kind::kNull;
+  other.flags_ = 0;
+}
+
+inline std::uint64_t Object::marshaled_size() const {
+  // Must stay in sync with transport/marshal.cpp. 1-byte kind tag, then
+  // the payload encoding (8-byte lengths and fixed-width scalars).
+  constexpr std::uint64_t kTag = 1;
+  switch (kind()) {
+    case Kind::kNull: return kTag;
+    case Kind::kInt: return kTag + 8;
+    case Kind::kReal: return kTag + 8;
+    case Kind::kBool: return kTag + 1;
+    case Kind::kStr: return kTag + 8 + as_str().size();
+    case Kind::kBag: {
+      std::uint64_t total = kTag + 8;
+      for (const auto& o : as_bag()) total += o.marshaled_size();
+      return total;
+    }
+    case Kind::kDArray: return kTag + 8 + 8 * static_cast<std::uint64_t>(as_darray().size());
+    case Kind::kCArray: return kTag + 8 + 16 * static_cast<std::uint64_t>(as_carray().size());
+    case Kind::kSynth:
+      // Simulated payload bytes plus the descriptor header.
+      return kTag + 16 + as_synth().bytes;
+    case Kind::kSp: return kTag + 8 + 8 + sp_cluster().size();
+  }
+  SCSQ_CHECK(false) << "unreachable";
+  return 0;
+}
 
 }  // namespace scsq::catalog

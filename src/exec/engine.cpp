@@ -63,6 +63,7 @@ transport::DriverParams Engine::driver_params_for(const hw::Location& loc) const
   const auto& node = machine_->node_params(loc);
   p.marshal_per_byte_s = node.marshal_per_byte_s;
   p.alloc_per_object_s = node.alloc_per_object_s;
+  p.frame_pool = &machine_->frame_pool();
   if (loc.cluster == hw::kBlueGene) {
     // BlueGene compute CPUs see cache-miss growth for large buffers
     // (the Fig. 6 decline right of the peak).

@@ -108,6 +108,12 @@ void Machine::publish_metrics() {
   bg_->torus().publish_metrics(metrics_);
   bg_->tree().publish_metrics(metrics_);
   obs::bridge_sim_perf(metrics_, sim_->perf());
+  // Frame recycling health: acquired - reused = frames ever freshly
+  // constructed. Flat across steady-state streaming = zero-churn.
+  metrics_.gauge("transport.frame_pool.acquired", {}).set(static_cast<double>(frame_pool_.acquired()));
+  metrics_.gauge("transport.frame_pool.reused", {}).set(static_cast<double>(frame_pool_.reused()));
+  metrics_.gauge("transport.frame_pool.recycled", {}).set(static_cast<double>(frame_pool_.recycled()));
+  metrics_.gauge("transport.frame_pool.free", {}).set(static_cast<double>(frame_pool_.free_frames()));
 }
 
 void Machine::set_trace(sim::Trace* trace) {

@@ -25,6 +25,7 @@
 #include "net/tree_net.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
+#include "transport/frame.hpp"
 
 namespace scsq::hw {
 
@@ -138,6 +139,13 @@ class Machine {
   /// (links, drivers, engine) register labeled counters at wiring time.
   obs::Registry& metrics() { return metrics_; }
 
+  /// The machine-wide frame recycling pool shared by every sender/
+  /// receiver pair the engine wires up (the simulation is single-
+  /// threaded, so one pool serves all simulated nodes). Its counters are
+  /// published as transport.frame_pool.* — on a steady-state stream,
+  /// acquired - reused stays flat: the zero-churn invariant.
+  transport::FramePool& frame_pool() { return frame_pool_; }
+
   /// Publishes the pull-style metrics that are not maintained
   /// incrementally: per-hop torus/tree utilization and busy seconds, and
   /// the simulation kernel's PerfCounters. Call right before
@@ -152,6 +160,7 @@ class Machine {
   std::unique_ptr<LinuxCluster> be_;
   std::unique_ptr<BlueGene> bg_;
   std::vector<int> bg_inbound_streams_;  // per compute rank
+  transport::FramePool frame_pool_;
   obs::Registry metrics_;
   sim::Trace* trace_ = nullptr;
 };

@@ -8,10 +8,22 @@
 //
 // Send/recv/wait counts feed the kernel's PerfCounters so benches can
 // report channel traffic per wall second alongside raw event throughput.
+//
+// send() and recv() return custom awaitables with an inline fast path:
+// when the operation can complete without parking (buffer has room /
+// data, or the channel is closed), await_ready() performs it directly
+// and the co_await costs no coroutine frame at all. Only a send into a
+// full buffer or a recv from an empty one falls back to a slow-path
+// Task coroutine that parks on the wait queue — semantically identical
+// to running the whole operation as a coroutine (the fast path is
+// exactly the no-suspension execution of the old Task body), but the
+// steady-state streaming case skips frame allocation and the coroutine
+// state machine entirely.
 #pragma once
 
-#include <deque>
+#include <coroutine>
 #include <optional>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -22,54 +34,103 @@ template <class T>
 class Channel {
  public:
   /// Capacity must be >= 1 (a zero-capacity rendezvous is not supported).
+  /// The buffer is a fixed ring of `capacity` default-constructed slots:
+  /// deliver/take are an index bump and a move-assign, and slots keep
+  /// whatever heap capacity their last occupant left behind (a recycled
+  /// Frame slot re-fills without allocating).
   Channel(Simulator& sim, std::size_t capacity)
-      : sim_(&sim), capacity_(capacity), senders_(sim), receivers_(sim) {
+      : sim_(&sim), capacity_(capacity), buffer_(capacity), senders_(sim), receivers_(sim) {
     SCSQ_CHECK(capacity_ >= 1) << "channel capacity must be >= 1";
   }
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  class [[nodiscard]] SendAwaiter {
+   public:
+    SendAwaiter(Channel& ch, T value) : ch_(&ch), value_(std::move(value)) {}
+    SendAwaiter(const SendAwaiter&) = delete;
+    SendAwaiter& operator=(const SendAwaiter&) = delete;
+    ~SendAwaiter() {
+      if (handle_) handle_.destroy();
+    }
+
+    bool await_ready() {
+      if (ch_->count_ < ch_->capacity_ || ch_->closed_) {
+        ch_->deliver(std::move(value_));
+        return true;
+      }
+      return false;
+    }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      handle_ = ch_->send_slow(std::move(value_)).release();
+      handle_.promise().continuation = parent;
+      return handle_;  // symmetric transfer into the parking coroutine
+    }
+    void await_resume() {
+      if (handle_ && handle_.promise().exception) {
+        std::rethrow_exception(handle_.promise().exception);
+      }
+    }
+
+   private:
+    Channel* ch_;
+    T value_;
+    std::coroutine_handle<typename Task<void>::promise_type> handle_{};
+  };
+
+  class [[nodiscard]] RecvAwaiter {
+   public:
+    explicit RecvAwaiter(Channel& ch) : ch_(&ch) {}
+    RecvAwaiter(const RecvAwaiter&) = delete;
+    RecvAwaiter& operator=(const RecvAwaiter&) = delete;
+    ~RecvAwaiter() {
+      if (handle_) handle_.destroy();
+    }
+
+    bool await_ready() {
+      if (ch_->count_ > 0) {
+        result_ = ch_->take();
+        return true;
+      }
+      return ch_->closed_;  // closed and drained: result_ stays nullopt
+    }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      handle_ = ch_->recv_slow().release();
+      handle_.promise().continuation = parent;
+      return handle_;
+    }
+    std::optional<T> await_resume() {
+      if (!handle_) return std::move(result_);
+      auto& p = handle_.promise();
+      if (p.exception) std::rethrow_exception(p.exception);
+      SCSQ_CHECK(p.value.has_value()) << "channel recv finished without a value";
+      return std::move(*p.value);
+    }
+
+   private:
+    Channel* ch_;
+    std::optional<T> result_;
+    std::coroutine_handle<typename Task<std::optional<T>>::promise_type> handle_{};
+  };
+
   /// Sends a value, suspending while the buffer is full. Sending on a
   /// closed channel silently discards the value ("receiver gone" —
   /// query-stop teardown drops in-flight stream data this way).
-  Task<void> send(T value) {
-    while (buffer_.size() >= capacity_ && !closed_) {
-      sim_->count_channel_wait();
-      co_await senders_.wait();
-    }
-    if (closed_) co_return;  // discard: the consumer has gone away
-    sim_->count_channel_send();
-    buffer_.push_back(std::move(value));
-    receivers_.notify_one();
-    co_return;
-  }
+  SendAwaiter send(T value) { return SendAwaiter(*this, std::move(value)); }
 
   /// Attempts to send without suspending. Returns false when full;
   /// discards (returning true) when closed.
   bool try_send(T value) {
     if (closed_) return true;
-    if (buffer_.size() >= capacity_) return false;
-    sim_->count_channel_send();
-    buffer_.push_back(std::move(value));
-    receivers_.notify_one();
+    if (count_ >= capacity_) return false;
+    deliver(std::move(value));
     return true;
   }
 
   /// Receives the next value; nullopt once the channel is closed and
   /// drained (remaining buffered values are still delivered after close).
-  Task<std::optional<T>> recv() {
-    while (buffer_.empty()) {
-      if (closed_) co_return std::nullopt;
-      sim_->count_channel_wait();
-      co_await receivers_.wait();
-    }
-    T value = std::move(buffer_.front());
-    buffer_.pop_front();
-    sim_->count_channel_recv();
-    senders_.notify_one();
-    co_return std::optional<T>(std::move(value));
-  }
+  RecvAwaiter recv() { return RecvAwaiter(*this); }
 
   /// Closes the channel: future recv() calls drain the buffer then yield
   /// nullopt; blocked senders/receivers are woken. Idempotent.
@@ -81,14 +142,56 @@ class Channel {
   }
 
   bool closed() const { return closed_; }
-  std::size_t size() const { return buffer_.size(); }
+  std::size_t size() const { return count_; }
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Completes a send on a channel with room (or discards on closed).
+  void deliver(T&& value) {
+    if (closed_) return;  // discard: the consumer has gone away
+    sim_->count_channel_send();
+    std::size_t tail = head_ + count_;
+    if (tail >= capacity_) tail -= capacity_;
+    buffer_[tail] = std::move(value);
+    ++count_;
+    receivers_.notify_one();
+  }
+
+  /// Takes the front value from a non-empty buffer.
+  T take() {
+    T value = std::move(buffer_[head_]);
+    if (++head_ == capacity_) head_ = 0;
+    --count_;
+    sim_->count_channel_recv();
+    senders_.notify_one();
+    return value;
+  }
+
+  /// Slow path: park until the buffer has room, then deliver.
+  Task<void> send_slow(T value) {
+    while (count_ >= capacity_ && !closed_) {
+      sim_->count_channel_wait();
+      co_await senders_.wait();
+    }
+    deliver(std::move(value));
+  }
+
+  /// Slow path: park until a value arrives or the channel closes.
+  Task<std::optional<T>> recv_slow() {
+    while (count_ == 0) {
+      if (closed_) co_return std::nullopt;
+      sim_->count_channel_wait();
+      co_await receivers_.wait();
+    }
+    co_return std::optional<T>(take());
+  }
+
   Simulator* sim_;
   std::size_t capacity_;
   bool closed_ = false;
-  std::deque<T> buffer_;
+  std::vector<T> buffer_;  // fixed ring of capacity_ slots
+  std::size_t head_ = 0;   // index of the oldest buffered value
+  std::size_t count_ = 0;  // buffered values
   WaitQueue senders_;
   WaitQueue receivers_;
 };

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -21,9 +23,80 @@ namespace scsq::sim {
 
 namespace detail {
 
+// Pooled coroutine-frame allocation. Every simulated message crossing a
+// Channel and every Resource::use() spins up a short-lived coroutine;
+// at steady state the same handful of frame sizes are allocated and
+// freed millions of times per run. Frames are recycled through
+// thread-local free lists bucketed in 64-byte size classes (the
+// simulator is single-threaded, but sweep workers run one simulation
+// per thread), so after warm-up the hot path never reaches malloc.
+// Oversized frames (> kCoroBucketCount classes) fall through to the
+// global heap. The lists free their cached blocks at thread exit, so
+// leak checkers stay quiet.
+inline constexpr std::size_t kCoroBucketShift = 6;  // 64-byte classes
+inline constexpr std::size_t kCoroBucketCount = 16;  // covers up to 1 KiB
+inline constexpr std::size_t kCoroMaxCachedPerBucket = 128;
+
+struct CoroFreeLists {
+  void* head[kCoroBucketCount] = {};
+  std::size_t count[kCoroBucketCount] = {};
+
+  ~CoroFreeLists() {
+    for (std::size_t b = 0; b < kCoroBucketCount; ++b) {
+      void* p = head[b];
+      while (p != nullptr) {
+        void* next = *static_cast<void**>(p);
+        ::operator delete(p);
+        p = next;
+      }
+    }
+  }
+
+  static CoroFreeLists& tls() {
+    static thread_local CoroFreeLists lists;
+    return lists;
+  }
+};
+
+inline void* coro_alloc(std::size_t n) {
+  const std::size_t b = (n - 1) >> kCoroBucketShift;
+  if (b < kCoroBucketCount) {
+    auto& fl = CoroFreeLists::tls();
+    if (void* p = fl.head[b]) {
+      fl.head[b] = *static_cast<void**>(p);
+      --fl.count[b];
+      return p;
+    }
+    // Round up to the class size so any same-class frame can reuse it.
+    return ::operator new((b + 1) << kCoroBucketShift);
+  }
+  return ::operator new(n);
+}
+
+inline void coro_free(void* p, std::size_t n) noexcept {
+  const std::size_t b = (n - 1) >> kCoroBucketShift;
+  if (b < kCoroBucketCount) {
+    auto& fl = CoroFreeLists::tls();
+    if (fl.count[b] < kCoroMaxCachedPerBucket) {
+      *static_cast<void**>(p) = fl.head[b];
+      fl.head[b] = p;
+      ++fl.count[b];
+      return;
+    }
+  }
+  ::operator delete(p);
+}
+
 struct PromiseBase {
   std::coroutine_handle<> continuation;  // resumed at final suspend, if set
   std::exception_ptr exception;
+
+  // Route all Task coroutine frames through the per-thread pool.
+  static void* operator new(std::size_t n) { return coro_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept { coro_free(p, n); }
+  // Unsized fallback (no size ⇒ no bucket): the block came from
+  // ::operator new either way, so releasing it there is always sound.
+  static void operator delete(void* p) noexcept { ::operator delete(p); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -10,28 +10,44 @@ sim::Task<void> Link::run(Frame frame, std::function<void()> on_sender_free) {
   const bool eos = frame.eos;
   const std::uint64_t payload = frame.bytes;
   const double t0 = sim_->now();
-  const bool window_full = window_.in_use() >= window_.capacity();
-  if (window_full && metrics_.stalls) metrics_.stalls->inc();
+  if (window_.in_use() >= window_.capacity()) ++batch_.stalls;
   co_await window_.acquire();
   const double window_wait = sim_->now() - t0;
-  if (metrics_.stall_seconds) metrics_.stall_seconds->add(window_wait);
   co_await transmit_one(std::move(frame), std::move(on_sender_free));
   window_.release();
   const double t1 = sim_->now();
-  if (metrics_.frames) metrics_.frames->inc();
-  if (metrics_.bytes) metrics_.bytes->inc(payload);
+  // Scalar accounting batches across the burst of in-flight frames; the
+  // histogram observes stay per-frame (quantiles need every sample).
+  batch_.frames += 1;
+  batch_.payload_bytes += payload;
+  batch_.wire_bytes += wire_bytes_for(payload);
+  batch_.transit_s += t1 - t0;
+  batch_.window_wait_s += window_wait;
   if (metrics_.frame_latency) metrics_.frame_latency->observe(t1 - t0);
-  stats_.frames += 1;
-  stats_.payload_bytes += payload;
-  stats_.wire_bytes += wire_bytes_for(payload);
-  stats_.transit_s += t1 - t0;
-  stats_.window_wait_s += window_wait;
   stats_.latency.observe(t1 - t0);
   if (flow_trace_ && !eos) flow_trace_->flow(flow_from_, flow_to_, "frame", t0, t1);
   if (eos) {
+    flush_batch();
     stream_ended();
     drained_.set();
+  } else if (window_.in_use() == 0) {
+    // The burst has fully drained — settle the books while idle.
+    flush_batch();
   }
+}
+
+void Link::flush_batch() const {
+  if (batch_.frames == 0 && batch_.stalls == 0) return;
+  stats_.frames += batch_.frames;
+  stats_.payload_bytes += batch_.payload_bytes;
+  stats_.wire_bytes += batch_.wire_bytes;
+  stats_.transit_s += batch_.transit_s;
+  stats_.window_wait_s += batch_.window_wait_s;
+  if (metrics_.frames) metrics_.frames->inc(batch_.frames);
+  if (metrics_.bytes) metrics_.bytes->inc(batch_.payload_bytes);
+  if (metrics_.stalls && batch_.stalls) metrics_.stalls->inc(batch_.stalls);
+  if (metrics_.stall_seconds) metrics_.stall_seconds->add(batch_.window_wait_s);
+  batch_ = StatsBatch{};
 }
 
 SenderDriver::SenderDriver(sim::Simulator& sim, DriverParams params, sim::Resource& cpu,
@@ -41,7 +57,7 @@ SenderDriver::SenderDriver(sim::Simulator& sim, DriverParams params, sim::Resour
       cpu_(&cpu),
       link_(std::move(link)),
       tag_(producer_tag),
-      cutter_(params.buffer_bytes),
+      cutter_(params.buffer_bytes, params.frame_pool),
       slots_(sim, params.send_buffers, "sendbuf"),
       outbox_(sim, 1) {
   SCSQ_CHECK(link_ != nullptr) << "sender driver needs a link";
@@ -54,7 +70,12 @@ sim::Task<void> SenderDriver::push(catalog::Object obj) {
   // Entering active production invalidates any armed linger flush (the
   // cut in the timer callback must never interleave with a push).
   ++linger_generation_;
-  for (auto& frame : cutter_.push(std::move(obj))) {
+  // Pushes on one sender are sequential (the producing RP awaits each),
+  // so the cut scratch vector is reusable — its capacity persists for
+  // the life of the stream and the no-cut common case costs nothing.
+  cut_scratch_.clear();
+  cutter_.push(std::move(obj), cut_scratch_);
+  for (auto& frame : cut_scratch_) {
     co_await outbox_.send(std::move(frame));
   }
   arm_linger();
@@ -121,7 +142,7 @@ ReceiverDriver::ReceiverDriver(sim::Simulator& sim, DriverParams params, sim::Re
       inbox_(sim, static_cast<std::size_t>(std::max(params.recv_buffers, 1))) {}
 
 sim::Task<std::optional<catalog::Object>> ReceiverDriver::next() {
-  while (ready_.empty()) {
+  while (ready_head_ == ready_.size()) {
     if (eos_) co_return std::nullopt;
     const double wait_start = sim_->now();
     auto frame = co_await inbox_.recv();
@@ -137,11 +158,21 @@ sim::Task<std::optional<catalog::Object>> ReceiverDriver::next() {
         static_cast<double>(frame->objects.size()) * params_.alloc_per_object_s;
     demarshal_seconds_ += cost;
     co_await cpu_->use(cost);
-    for (auto& o : frame->objects) ready_.push_back(std::move(o));
+    // ready_ is fully drained here: take the frame's object vector
+    // wholesale (O(1) swap) and give the frame our spent one — the two
+    // vectors ping-pong their capacity for the life of the stream.
+    ready_.clear();
+    ready_head_ = 0;
+    std::swap(ready_, frame->objects);
     if (frame->eos) eos_ = true;
+    if (frame->pool) frame->pool->recycle(std::move(*frame));
   }
-  auto obj = std::move(ready_.front());
-  ready_.pop_front();
+  auto obj = std::move(ready_[ready_head_]);
+  ++ready_head_;
+  if (ready_head_ == ready_.size()) {
+    ready_.clear();
+    ready_head_ = 0;
+  }
   co_return std::optional<catalog::Object>(std::move(obj));
 }
 

@@ -11,7 +11,6 @@
 // costs to the node's compute CPU.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -45,6 +44,9 @@ struct DriverParams {
   /// simulated idle time, so sparse streams (one aggregate per window)
   /// are delivered promptly. 0 disables (flush only when full / at EOS).
   double linger_s = 10e-3;
+  /// Frame recycling pool (owned by the simulated machine); null = every
+  /// cut frame is a fresh allocation, as in directly-wired test rigs.
+  FramePool* frame_pool = nullptr;
 
   double factor(std::uint64_t bytes) const {
     return cache_factor ? cache_factor(bytes) : 1.0;
@@ -65,8 +67,11 @@ struct LinkMetrics {
 /// Per-link running totals the profiler reads back after a run (the
 /// registry metrics above are exporter-facing; these are analysis-facing
 /// and include the wire-byte accounting and the LogHistogram the
-/// EXPLAIN ANALYZE latency quantiles come from). Maintained inline in
-/// Link::run — plain adds plus one histogram observe per frame.
+/// EXPLAIN ANALYZE latency quantiles come from). Scalar fields are
+/// updated from a per-burst batch that Link::run flushes when the link
+/// window drains or the stream ends (stats() also flushes lazily, so
+/// readers always see exact totals); only the histogram observes stay
+/// per-frame — quantiles need every sample.
 struct LinkStats {
   std::uint64_t frames = 0;         ///< frames delivered (incl. EOS)
   std::uint64_t payload_bytes = 0;  ///< stream payload bytes
@@ -109,8 +114,12 @@ class Link {
   void set_type(std::string type) { type_ = std::move(type); }
   const std::string& type() const { return type_; }
 
-  /// Running per-link totals for the profiler (always maintained).
-  const LinkStats& stats() const { return stats_; }
+  /// Running per-link totals for the profiler. Flushes any batched
+  /// updates first, so the returned totals are always exact.
+  const LinkStats& stats() const {
+    flush_batch();
+    return stats_;
+  }
 
   /// Attaches a trace: every delivered data frame records a flow arrow
   /// from `from_track` (at transmission start) to `to_track` (at inbox
@@ -140,11 +149,26 @@ class Link {
  private:
   sim::Task<void> run(Frame frame, std::function<void()> on_sender_free);
 
+  /// Scalar stats accumulated across a burst of in-flight frames and
+  /// applied to stats_/metrics_ in one shot — per-frame delivery used
+  /// to pay five counter/gauge updates each; a burst now pays them
+  /// once. mutable: stats() flushes lazily from const context.
+  struct StatsBatch {
+    std::uint64_t frames = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t stalls = 0;
+    double transit_s = 0.0;
+    double window_wait_s = 0.0;
+  };
+  void flush_batch() const;
+
   sim::Simulator* sim_;
   sim::Event drained_;
   sim::Resource window_;
   LinkMetrics metrics_;
-  LinkStats stats_;
+  mutable LinkStats stats_;
+  mutable StatsBatch batch_;
   std::string type_;
   sim::Trace* flow_trace_ = nullptr;
   std::string flow_from_;
@@ -194,6 +218,7 @@ class SenderDriver {
   FrameCutter cutter_;
   sim::Resource slots_;  // send buffers: capacity 1 (single) or 2 (double)
   sim::Channel<Frame> outbox_;
+  std::vector<Frame> cut_scratch_;  // reused across pushes (see push())
   std::uint64_t linger_generation_ = 0;
   bool finishing_ = false;
   double stall_seconds_ = 0.0;
@@ -225,7 +250,11 @@ class ReceiverDriver {
   DriverParams params_;
   sim::Resource* cpu_;
   sim::Channel<Frame> inbox_;
-  std::deque<catalog::Object> ready_;
+  // Materialized objects not yet handed to the operators. Vector + head
+  // index instead of a deque: a frame's objects arrive as one bulk
+  // move, and the storage resets (keeping capacity) whenever drained.
+  std::vector<catalog::Object> ready_;
+  std::size_t ready_head_ = 0;
   bool eos_ = false;
   std::uint64_t bytes_ = 0;
   double wait_seconds_ = 0.0;

@@ -1,17 +1,8 @@
 #include "transport/frame.hpp"
 
-namespace scsq::transport {
+#include <iterator>
 
-std::vector<Frame> FrameCutter::push(catalog::Object obj) {
-  SCSQ_CHECK(!finished_) << "push after finish";
-  pushed_bytes_ += obj.marshaled_size();
-  pending_.emplace_back(std::move(obj), pushed_bytes_);
-  std::vector<Frame> out;
-  while (pushed_bytes_ - emitted_bytes_ >= buffer_bytes_) {
-    out.push_back(cut(buffer_bytes_));
-  }
-  return out;
-}
+namespace scsq::transport {
 
 std::optional<Frame> FrameCutter::cut_partial() {
   SCSQ_CHECK(!finished_) << "cut_partial after finish";
@@ -24,18 +15,29 @@ Frame FrameCutter::finish() {
   finished_ = true;
   Frame f = cut(pushed_bytes_ - emitted_bytes_);
   f.eos = true;
-  SCSQ_CHECK(pending_.empty()) << "objects left behind at stream end";
+  SCSQ_CHECK(head_ == pending_.size()) << "objects left behind at stream end";
   return f;
 }
 
 Frame FrameCutter::cut(std::uint64_t frame_bytes) {
-  Frame f;
+  Frame f = pool_ ? pool_->acquire() : Frame{};
   f.bytes = frame_bytes;
   f.seq = next_seq_++;
   emitted_bytes_ += frame_bytes;
-  while (!pending_.empty() && pending_.front().second <= emitted_bytes_) {
-    f.objects.push_back(std::move(pending_.front().first));
-    pending_.pop_front();
+  // All objects whose final byte now falls inside an emitted frame move
+  // to this frame in one bulk splice.
+  std::size_t split = head_;
+  while (split < pending_end_.size() && pending_end_[split] <= emitted_bytes_) ++split;
+  if (split > head_) {
+    f.objects.insert(f.objects.end(),
+                     std::make_move_iterator(pending_.begin() + static_cast<std::ptrdiff_t>(head_)),
+                     std::make_move_iterator(pending_.begin() + static_cast<std::ptrdiff_t>(split)));
+    head_ = split;
+    if (head_ == pending_.size()) {
+      pending_.clear();
+      pending_end_.clear();
+      head_ = 0;
+    }
   }
   return f;
 }

@@ -7,6 +7,15 @@
 // marshaled_size() reports descriptor + nominal payload bytes — the
 // simulation charges wire and CPU time for the payload the descriptor
 // stands in for, without allocating it (see catalog/object.hpp).
+//
+// MarshalWriter/MarshalReader are the flat fast path: the writer sizes
+// the encoding up front, grows its (caller-owned, reusable) buffer once,
+// and emits every word with a raw memcpy store — no per-byte push_back,
+// and arrays/strings go out as single bulk copies. The reader mirrors
+// that with memcpy loads and bulk array materialization. The free
+// functions marshal/unmarshal/marshal_all/unmarshal_all are thin
+// wrappers kept for convenience and for cross-checking both entry
+// points in the round-trip tests.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +26,69 @@
 
 namespace scsq::transport {
 
+/// Flat encoder over an external, reusable byte buffer. The writer
+/// appends to `out` (it never shrinks it), so one buffer can carry many
+/// objects and — cleared between frames — its capacity is reused across
+/// an entire stream without reallocating.
+class MarshalWriter {
+ public:
+  explicit MarshalWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  /// Appends the encoding of `obj`. Resizes the buffer to the exact
+  /// final size up front, then emits through a raw cursor — one size
+  /// adjustment per object, no per-word bookkeeping.
+  void write(const catalog::Object& obj);
+
+  /// Bytes the encoding of `obj` physically occupies (SynthArray counts
+  /// its 17-byte descriptor only, unlike Object::marshaled_size()).
+  static std::uint64_t physical_size(const catalog::Object& obj);
+
+  std::vector<std::uint8_t>& buffer() { return *out_; }
+
+ private:
+  void emit(const catalog::Object& obj);
+
+  std::vector<std::uint8_t>* out_;
+  std::uint8_t* p_ = nullptr;  // write cursor; valid only during write()
+};
+
+/// Flat decoder over a byte span; reads objects sequentially.
+class MarshalReader {
+ public:
+  explicit MarshalReader(std::span<const std::uint8_t> data, std::size_t offset = 0)
+      : base_(data.data()), cur_(data.data() + offset), end_(data.data() + data.size()) {}
+
+  /// Decodes the next object. SCSQ_CHECKs on malformed input (wire data
+  /// is produced by our own marshal; corruption is a programmer error).
+  catalog::Object read();
+
+  /// Decodes the next object into `out`, reusing out's existing heap
+  /// storage when the kinds line up: a string decodes by assign() into
+  /// the old buffer, arrays memcpy into resized vectors, and bags
+  /// decode element-wise into recycled slots. A receive loop that
+  /// materializes every frame into the same object tree allocates
+  /// nothing once capacities have warmed up — the decode-side half of
+  /// the zero-churn data plane.
+  void read_into(catalog::Object& out);
+
+  bool done() const { return cur_ >= end_; }
+  std::size_t offset() const { return static_cast<std::size_t>(cur_ - base_); }
+
+ private:
+  std::uint8_t get_u8();
+  std::uint64_t get_u64();
+  double get_f64();
+  const std::uint8_t* take(std::size_t n);
+
+  const std::uint8_t* base_;
+  const std::uint8_t* cur_;
+  const std::uint8_t* end_;
+};
+
 /// Appends the encoding of `obj` to `out`.
 void marshal(const catalog::Object& obj, std::vector<std::uint8_t>& out);
 
 /// Decodes one object starting at `offset`; advances `offset` past it.
-/// SCSQ_CHECKs on malformed input (wire data is produced by our own
-/// marshal; corruption is a programmer error, not a user error).
 catalog::Object unmarshal(std::span<const std::uint8_t> data, std::size_t& offset);
 
 /// Convenience: encodes a sequence of objects into one buffer.

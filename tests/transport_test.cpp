@@ -107,19 +107,164 @@ TEST(Marshal, FuzzRoundTrip) {
 }
 
 // ---------------------------------------------------------------------
+// Property-style round-trips: every Kind, through every entry point.
+// ---------------------------------------------------------------------
+
+// One Object per Kind plus the edge shapes the wire format has to get
+// right: empty string/arrays/bag, inline and boxed SpHandle, and a bag
+// nested 16 levels deep.
+std::vector<Object> every_kind_corpus() {
+  std::vector<Object> objs;
+  objs.emplace_back();                                         // null
+  objs.emplace_back(std::int64_t{-1});                         // int
+  objs.emplace_back(2.5);                                      // real
+  objs.emplace_back(true);                                     // bool
+  objs.emplace_back(std::string("kind coverage"));             // str
+  objs.emplace_back(std::string());                            // empty str
+  objs.emplace_back(std::vector<double>{1.0, -2.0, 1e-300});   // darray
+  objs.emplace_back(std::vector<double>{});                    // empty darray
+  objs.emplace_back(std::vector<std::complex<double>>{{1, 2}, {-3, 0}});
+  objs.emplace_back(std::vector<std::complex<double>>{});      // empty carray
+  objs.emplace_back(SynthArray{12345, 7});                     // synth
+  objs.emplace_back(SpHandle{1, "bg"});                        // sp (inline)
+  objs.emplace_back(SpHandle{2, "very-long-cluster-name"});    // sp (boxed)
+  objs.emplace_back(Bag{});                                    // empty bag
+  Object deep{std::int64_t{0}};
+  for (int d = 0; d < 16; ++d) {
+    Bag level;
+    level.push_back(std::move(deep));
+    level.emplace_back(std::int64_t{d});
+    deep = Object{std::move(level)};
+  }
+  objs.push_back(std::move(deep));                             // deep bag
+  return objs;
+}
+
+// Round-trips `obj` through (a) the free functions, (b) MarshalWriter +
+// MarshalReader::read(), and (c) MarshalReader::read_into() aimed at
+// targets of every prior shape — the recycle path must overwrite stale
+// state of any kind, including bags with more slots than the decode.
+void expect_round_trip_all_paths(const Object& obj) {
+  std::vector<std::uint8_t> via_free;
+  marshal(obj, via_free);
+  std::size_t off = 0;
+  EXPECT_EQ(unmarshal(via_free, off), obj);
+  EXPECT_EQ(off, via_free.size());
+
+  std::vector<std::uint8_t> via_writer;
+  MarshalWriter writer(via_writer);
+  writer.write(obj);
+  EXPECT_EQ(via_writer, via_free) << "encoders disagree for " << obj.to_string();
+  MarshalReader reader(via_writer);
+  EXPECT_EQ(reader.read(), obj);
+  EXPECT_TRUE(reader.done());
+
+  const std::vector<Object> stale_targets{
+      Object{},
+      Object{std::int64_t{9}},
+      Object{std::string("stale string")},
+      Object{std::vector<double>{9, 9, 9, 9}},
+      Object{Bag{Object{1}, Object{"x"}, Object{2.0}}},
+  };
+  for (const auto& stale : stale_targets) {
+    Object target = stale;
+    MarshalReader r(via_writer);
+    r.read_into(target);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(target, obj) << "read_into over " << stale.to_string();
+    // Decode again into the now-warm target: must stay equal (capacity
+    // reuse must not change the decoded value).
+    MarshalReader r2(via_writer);
+    r2.read_into(target);
+    EXPECT_EQ(target, obj);
+  }
+}
+
+TEST(MarshalProperty, EveryKindAllPaths) {
+  for (const auto& obj : every_kind_corpus()) expect_round_trip_all_paths(obj);
+}
+
+TEST(MarshalProperty, MixedStreamIntoOneRecycledSlot) {
+  // A whole mixed-kind stream through one shared buffer, decoded into a
+  // single recycled Object — the receive loop's steady state.
+  const auto corpus = every_kind_corpus();
+  std::vector<std::uint8_t> buf;
+  MarshalWriter writer(buf);
+  for (const auto& obj : corpus) writer.write(obj);
+  MarshalReader reader(buf);
+  Object slot;
+  std::size_t i = 0;
+  while (!reader.done()) {
+    ASSERT_LT(i, corpus.size());
+    reader.read_into(slot);
+    EXPECT_EQ(slot, corpus[i]) << "stream position " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, corpus.size());
+}
+
+TEST(MarshalProperty, ShrinkingBagLeavesNoStaleTail) {
+  Object small{Bag{Object{std::int64_t{1}}}};
+  Object target{Bag{Object{"a"}, Object{"b"}, Object{"c"}}};
+  std::vector<std::uint8_t> buf;
+  MarshalWriter writer(buf);
+  writer.write(small);
+  MarshalReader reader(buf);
+  reader.read_into(target);
+  EXPECT_EQ(target, small);
+  EXPECT_EQ(target.as_bag().size(), 1u);
+}
+
+Object random_object(util::Rng& rng, int depth) {
+  switch (rng.uniform_int(0, depth > 0 ? 7 : 5)) {
+    case 0: return Object{};
+    case 1: return Object{rng.uniform_int(-1'000'000, 1'000'000)};
+    case 2: return Object{rng.uniform(-1e9, 1e9)};
+    case 3: return Object{std::string(static_cast<std::size_t>(rng.uniform_int(0, 40)), 'y')};
+    case 4: {
+      std::vector<double> a(static_cast<std::size_t>(rng.uniform_int(0, 16)));
+      for (auto& x : a) x = rng.uniform(-1, 1);
+      return Object{std::move(a)};
+    }
+    case 5: return Object{SpHandle{static_cast<std::uint64_t>(rng.uniform_int(0, 99)),
+                                   rng.uniform_int(0, 1) ? "bg" : "a-cluster-beyond-inline"}};
+    default: {
+      Bag bag;
+      int n = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < n; ++i) bag.push_back(random_object(rng, depth - 1));
+      return Object{std::move(bag)};
+    }
+  }
+}
+
+TEST(MarshalProperty, FuzzAllPaths) {
+  util::Rng rng(4242);
+  for (int iter = 0; iter < 150; ++iter) {
+    expect_round_trip_all_paths(random_object(rng, 4));
+  }
+}
+
+// ---------------------------------------------------------------------
 // FrameCutter
 // ---------------------------------------------------------------------
+
+// Adapter for the scratch-vector push API: collect the cut frames.
+std::vector<Frame> push_all(FrameCutter& cutter, Object obj) {
+  std::vector<Frame> out;
+  cutter.push(std::move(obj), out);
+  return out;
+}
 
 TEST(FrameCutter, SmallObjectsAccumulate) {
   FrameCutter cutter(100);
   // Int marshals to 9 bytes; 11 of them cross the 100-byte boundary.
   std::vector<Frame> frames;
   for (int i = 0; i < 11; ++i) {
-    auto out = cutter.push(Object{i});
+    auto out = push_all(cutter, Object{i});
     for (auto& f : out) frames.push_back(std::move(f));
   }
   ASSERT_EQ(frames.size(), 0u);  // 99 bytes after 11 pushes
-  auto out = cutter.push(Object{11});
+  auto out = push_all(cutter, Object{11});
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].bytes, 100u);
   // 11 objects end within the first 100 bytes (11*9=99); the 12th ends
@@ -130,7 +275,7 @@ TEST(FrameCutter, SmallObjectsAccumulate) {
 TEST(FrameCutter, LargeObjectSpansManyFrames) {
   FrameCutter cutter(1000);
   Object big{SynthArray{10'000, 1}};  // marshals to 10'017 simulated bytes
-  auto frames = cutter.push(big);
+  auto frames = push_all(cutter, big);
   ASSERT_EQ(frames.size(), 10u);
   for (int i = 0; i < 9; ++i) {
     EXPECT_EQ(frames[static_cast<std::size_t>(i)].bytes, 1000u);
@@ -163,7 +308,7 @@ TEST(FrameCutter, ByteConservation) {
   for (int i = 0; i < 100; ++i) {
     Object o{SynthArray{static_cast<std::uint64_t>(rng.uniform_int(0, 4000)), 0}};
     pushed += o.marshaled_size();
-    for (auto& f : cutter.push(std::move(o))) {
+    for (auto& f : push_all(cutter, std::move(o))) {
       total_emitted += f.bytes;
       objects_out += f.objects.size();
     }
@@ -178,7 +323,7 @@ TEST(FrameCutter, ByteConservation) {
 
 TEST(FrameCutter, ExactFit) {
   FrameCutter cutter(9);  // exactly one marshaled int
-  auto frames = cutter.push(Object{5});
+  auto frames = push_all(cutter, Object{5});
   ASSERT_EQ(frames.size(), 1u);
   EXPECT_EQ(frames[0].bytes, 9u);
   ASSERT_EQ(frames[0].objects.size(), 1u);
@@ -190,11 +335,89 @@ TEST(FrameCutter, SequenceNumbersIncrease) {
   FrameCutter cutter(9);
   std::uint64_t expected = 0;
   for (int i = 0; i < 5; ++i) {
-    auto frames = cutter.push(Object{i});
+    auto frames = push_all(cutter, Object{i});
     ASSERT_EQ(frames.size(), 1u);
     EXPECT_EQ(frames[0].seq, expected++);
   }
   EXPECT_EQ(cutter.finish().seq, expected);
+}
+
+// ---------------------------------------------------------------------
+// FramePool recycling
+// ---------------------------------------------------------------------
+
+TEST(FramePool, RecycledFrameDoesNotLeakState) {
+  FramePool pool;
+  Frame f = pool.acquire();
+  f.bytes = 999;
+  f.eos = true;
+  f.producer = 5;
+  f.seq = 42;
+  f.objects.emplace_back(std::int64_t{7});
+  f.objects.emplace_back(std::string("stale payload"));
+  pool.recycle(std::move(f));
+
+  Frame g = pool.acquire();
+  EXPECT_EQ(g.bytes, 0u);
+  EXPECT_TRUE(g.objects.empty());
+  EXPECT_FALSE(g.eos);
+  EXPECT_EQ(g.producer, 0u);
+  EXPECT_EQ(g.seq, 0u);
+  EXPECT_EQ(g.pool, &pool);
+  EXPECT_GE(g.objects.capacity(), 2u);  // capacity survives the recycle
+  EXPECT_EQ(pool.acquired(), 2u);
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_EQ(pool.recycled(), 1u);
+}
+
+TEST(FramePool, CutterStreamsFromRecycledPoolStayClean) {
+  // Run one stream to completion (its final frame carries eos), recycle
+  // everything, then run a second stream from the same pool: no frame of
+  // the second stream may inherit eos, bytes, or leftover objects.
+  FramePool pool;
+  std::vector<Frame> scratch;
+  {
+    FrameCutter cutter(10, &pool);
+    cutter.push(Object{std::string("0123456789abcdef")}, scratch);
+    Frame last = cutter.finish();
+    EXPECT_TRUE(last.eos);
+    pool.recycle(std::move(last));
+    for (auto& f : scratch) pool.recycle(std::move(f));
+    scratch.clear();
+  }
+  FrameCutter cutter(10, &pool);
+  cutter.push(Object{std::string("fresh stream bytes")}, scratch);
+  ASSERT_FALSE(scratch.empty());
+  EXPECT_GT(pool.reused(), 0u);
+  for (const auto& f : scratch) {
+    EXPECT_FALSE(f.eos);
+    EXPECT_LE(f.objects.size(), 1u);
+  }
+}
+
+TEST(FramePool, SteadyStateSynthStreamConstructsNoNewFrames) {
+  // The zero-churn invariant behind the transport.frame_pool.* gauges:
+  // acquired - reused counts frames ever default-constructed, and it
+  // must stay flat once the free list has warmed up — a second identical
+  // SynthArray stream runs entirely on recycled frames.
+  FramePool pool;
+  std::vector<Frame> scratch;
+  auto run_stream = [&] {
+    FrameCutter cutter(1000, &pool);
+    for (int i = 0; i < 8; ++i) {
+      scratch.clear();
+      cutter.push(Object{SynthArray{100'000, static_cast<std::uint64_t>(i)}}, scratch);
+      for (auto& f : scratch) pool.recycle(std::move(f));
+    }
+    scratch.clear();
+    pool.recycle(cutter.finish());
+  };
+  run_stream();
+  const std::uint64_t constructed = pool.acquired() - pool.reused();
+  EXPECT_GT(pool.reused(), 0u);
+  run_stream();
+  EXPECT_EQ(pool.acquired() - pool.reused(), constructed)
+      << "second stream constructed fresh frames — pool recycling broke";
 }
 
 // ---------------------------------------------------------------------

@@ -5,6 +5,9 @@
 #
 # Usage: tools/ci_smoke.sh [build-dir]     (default: build)
 # Env:   SCSQ_TSAN=1 adds -DSCSQ_TSAN=ON (ThreadSanitizer build).
+#        SCSQ_ASAN=1 adds -DSCSQ_ASAN=ON (AddressSanitizer build; the
+#        pooled frame/marshal data plane recycles buffers aggressively,
+#        so transport tests under ASAN guard against use-after-recycle).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +15,9 @@ BUILD=${1:-build}
 CMAKE_ARGS=()
 if [[ "${SCSQ_TSAN:-0}" == "1" ]]; then
   CMAKE_ARGS+=(-DSCSQ_TSAN=ON)
+fi
+if [[ "${SCSQ_ASAN:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DSCSQ_ASAN=ON)
 fi
 
 cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}"
@@ -92,6 +98,25 @@ echo "\\explain analyze select extract(c) from sp a, sp b, sp c
 grep -q 'EXPLAIN ANALYZE' "$TMPD/explain_out.txt" || { echo "missing EXPLAIN ANALYZE header"; exit 1; }
 grep -q 'critical path:' "$TMPD/explain_out.txt" || { echo "missing critical path"; exit 1; }
 grep -Eq 'total +.* 100\.0%' "$TMPD/explain_out.txt" || { echo "attribution does not total 100%"; exit 1; }
+
+# Data-plane microbenchmarks: marshal round-trips and the frame cutter
+# must at least run to completion on every change (pool + flat writer
+# smoke; perf is tracked separately via BENCH_kernels.json).
+echo "== bench_kernels marshal/frame smoke =="
+"$BUILD/bench/bench_kernels" --benchmark_filter='BM_(MarshalRoundTrip|FrameCutterCut|FramePoolRecycle)' > /dev/null
+
+# ASAN pass over the transport tests: the pooled frame/marshal data
+# plane recycles buffers aggressively, so guard against use-after-
+# recycle and buffer overruns. Skipped when the toolchain cannot link
+# a trivial -fsanitize=address program (e.g. libasan not installed).
+if echo 'int main(){}' | c++ -x c++ -fsanitize=address -o /dev/null - 2> /dev/null; then
+  echo "== transport_test under AddressSanitizer =="
+  cmake -B "$BUILD-asan" -S . -DSCSQ_ASAN=ON > /dev/null
+  cmake --build "$BUILD-asan" -j"$(nproc)" --target transport_test > /dev/null
+  "$BUILD-asan/tests/transport_test"
+else
+  echo "== skipping ASAN pass (toolchain lacks AddressSanitizer) =="
+fi
 
 # Bench baseline self-check: committed "new" numbers must not regress
 # more than 20% against their recorded seeds.
