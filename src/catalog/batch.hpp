@@ -1,0 +1,73 @@
+// Recycled batch of stream objects for batch-at-a-time execution.
+//
+// An ItemBatch is the unit the batched SQEP paths hand around: up to
+// `max` materialized objects plus an end-of-stream flag. Like the
+// transport FramePool, the batch recycles its storage — reset() rewinds
+// the logical size but keeps the Object slots (and whatever heap
+// capacity their last occupants left behind), so a drive loop reusing
+// one batch performs no per-batch allocation in steady state: pushing
+// into a previously used slot is a single move-assign.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "catalog/object.hpp"
+#include "util/logging.hpp"
+
+namespace scsq::catalog {
+
+class ItemBatch {
+ public:
+  ItemBatch() = default;
+  ItemBatch(const ItemBatch&) = delete;
+  ItemBatch& operator=(const ItemBatch&) = delete;
+
+  /// Appends one object, reusing a recycled slot when one is available.
+  void push(Object&& obj) {
+    if (size_ < slots_.size()) {
+      slots_[size_] = std::move(obj);
+    } else {
+      slots_.push_back(std::move(obj));
+    }
+    ++size_;
+  }
+
+  /// Marks the end of the stream. A batch may carry items *and* EOS:
+  /// the final items of a stream arrive together with the flag, and a
+  /// later pull would yield an empty EOS batch.
+  void mark_eos() { eos_ = true; }
+
+  /// Rewinds to empty without releasing slot storage (the recycling
+  /// point of this type). Clears the EOS flag too, so one batch can be
+  /// reused across pulls and across streams.
+  void reset() {
+    size_ = 0;
+    eos_ = false;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool eos() const { return eos_; }
+
+  Object& operator[](std::size_t i) {
+    SCSQ_CHECK(i < size_) << "batch index out of range";
+    return slots_[i];
+  }
+  const Object& operator[](std::size_t i) const {
+    SCSQ_CHECK(i < size_) << "batch index out of range";
+    return slots_[i];
+  }
+
+  /// Slots ever grown (>= size(); stable across reset() — diagnostics
+  /// for the zero-churn invariant, like FramePool::acquired/reused).
+  std::size_t slot_capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Object> slots_;  // [0, size_) live, the rest recycled
+  std::size_t size_ = 0;
+  bool eos_ = false;
+};
+
+}  // namespace scsq::catalog

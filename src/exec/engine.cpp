@@ -1,5 +1,7 @@
 #include "exec/engine.hpp"
 
+#include <cstdlib>
+
 #include "exec/eval.hpp"
 #include "exec/substitute.hpp"
 #include "resolve/binder.hpp"
@@ -15,8 +17,28 @@ using scsql::Error;
 using scsql::ExprKind;
 using scsql::ExprPtr;
 
+namespace {
+
+/// batch_size == 0 means "resolve from the environment": SCSQ_BATCH_SIZE
+/// if set to a positive integer, otherwise the built-in default. The
+/// resolved value is written back into options_, so options().batch_size
+/// always reports the effective depth.
+std::size_t resolve_batch_size(std::size_t configured) {
+  constexpr std::size_t kDefaultBatchSize = 256;
+  if (configured != 0) return configured;
+  if (const char* env = std::getenv("SCSQ_BATCH_SIZE")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  return kDefaultBatchSize;
+}
+
+}  // namespace
+
 Engine::Engine(hw::Machine& machine, ExecOptions options)
     : machine_(&machine), options_(std::move(options)) {
+  options_.batch_size = resolve_batch_size(options_.batch_size);
   auto& sim = machine_->sim();
   fe_cc_ = std::make_unique<ClusterCoordinator>(sim, hw::kFrontEnd,
                                                 machine_->cndb(hw::kFrontEnd),
@@ -154,6 +176,10 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
       s.recv_wait_s += rx->wait_seconds();
       s.demarshal_s += rx->demarshal_seconds();
     }
+    if (rp->root) {
+      s.batches = rp->root->batch_counters().batches;
+      s.batch_items = rp->root->batch_counters().items;
+    }
     publish_rp_metrics(s);
     report.rps.push_back(std::move(s));
   }
@@ -177,6 +203,11 @@ void Engine::publish_rp_metrics(const RpStat& s) {
   registry.gauge("engine.rp.recv_wait_s", labels).set(s.recv_wait_s);
   registry.gauge("engine.rp.marshal_s", labels).set(s.marshal_s);
   registry.gauge("engine.rp.demarshal_s", labels).set(s.demarshal_s);
+  registry.gauge("engine.rp.batches", labels).set(static_cast<double>(s.batches));
+  registry.gauge("engine.rp.batch_fill", labels)
+      .set(s.batches == 0 ? 0.0
+                          : static_cast<double>(s.batch_items) /
+                                static_cast<double>(s.batches));
 }
 
 obs::Profile Engine::profile(const RunReport& report) const {
@@ -193,6 +224,10 @@ obs::Profile Engine::profile(const RunReport& report) const {
     n.is_client = rp->is_client;
     n.elements_out = rp->elements_out;
     n.drive_s = rp->drive_s;
+    if (rp->root) {
+      n.batches = rp->root->batch_counters().batches;
+      n.batch_items = rp->root->batch_counters().items;
+    }
     for (const auto& rx : rp->receivers) {
       n.bytes_received += rx->bytes_received();
       n.recv_wait_s += rx->wait_seconds();
@@ -559,6 +594,7 @@ void Engine::wire_rp(Rp& rp) {
   rp.ctx.loc = rp.loc;
   rp.ctx.cpu = &machine_->cpu_of(rp.loc);
   rp.ctx.node = machine_->node_params(rp.loc);
+  rp.ctx.batch_size = options_.batch_size;
   rp.ctx.const_eval = [this, &rp](const ExprPtr& e) {
     return eval_const(e, rp.env, machine_);
   };
@@ -599,36 +635,63 @@ sim::Task<void> Engine::run_rp(Rp& rp) {
   if (trace) trace->instant(track, "start", machine_->sim().now());
   try {
     if (rp.root != nullptr) {
-      while (!stop_requested_) {
-        const double drive_start = machine_->sim().now();
-        auto obj = co_await rp.root->next();
-        rp.drive_s += machine_->sim().now() - drive_start;
-        if (!obj) break;
-        rp.elements_out += 1;
-        // Sampled, not per-element: an unthrottled counter track would
-        // dominate the trace for multi-thousand-element streams.
-        if (trace && (rp.elements_out & 0x3F) == 0) {
-          trace->counter(track, "elements_out", machine_->sim().now(),
-                         static_cast<double>(rp.elements_out));
-        }
-        if (rp.is_client) {
+      // Drive depth: the client manager and subscriber-less sinks pull
+      // whole batches; producer RPs stay at depth 1 so every element is
+      // pushed to the senders at exactly the per-item moment (frame-cut
+      // and linger timing depend on push times). The per-item timeline
+      // is preserved at any depth — batching only changes how much
+      // host-side work happens per simulated suspension.
+      const std::size_t base_depth =
+          (rp.is_client || rp.senders.empty()) ? options_.batch_size : 1;
+      plan::ItemBatch batch;
+      bool eos = false;
+      while (!stop_requested_ && !eos) {
+        std::size_t depth = base_depth;
+        if (rp.is_client && options_.max_results > 0) {
           SCSQ_CHECK(results_sink_ != nullptr) << "no active result sink";
-          results_sink_->push_back(std::move(*obj));
-          // Stop condition: enough results collected.
-          if (options_.max_results > 0 && results_sink_->size() >= options_.max_results) {
-            initiate_stop();
-            break;
+          // Never pull past the stop condition: the collected count and
+          // the stop moment stay identical to the per-item loop.
+          const std::size_t remaining = options_.max_results - results_sink_->size();
+          depth = std::min(depth, std::max<std::size_t>(remaining, 1));
+        }
+        batch.reset();
+        const double drive_start = machine_->sim().now();
+        co_await rp.root->next_batch(batch, depth);
+        rp.drive_s += machine_->sim().now() - drive_start;
+        eos = batch.eos();
+        bool stopped_here = false;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          // The per-item loop re-checked the stop flag between items.
+          if (stop_requested_ && !rp.is_client) break;
+          rp.elements_out += 1;
+          // Sampled, not per-element: an unthrottled counter track would
+          // dominate the trace for multi-thousand-element streams.
+          if (trace && (rp.elements_out & 0x3F) == 0) {
+            trace->counter(track, "elements_out", machine_->sim().now(),
+                           static_cast<double>(rp.elements_out));
           }
-          continue;
+          if (rp.is_client) {
+            SCSQ_CHECK(results_sink_ != nullptr) << "no active result sink";
+            results_sink_->push_back(std::move(batch[i]));
+            // Stop condition: enough results collected.
+            if (options_.max_results > 0 &&
+                results_sink_->size() >= options_.max_results) {
+              initiate_stop();
+              stopped_here = true;
+              break;
+            }
+            continue;
+          }
+          if (rp.senders.empty()) continue;  // no subscribers: discard
+          if (rp.senders.size() == 1) {
+            co_await rp.senders[0]->push(std::move(batch[i]));
+          } else {
+            // Stream splitting: every subscriber receives the full
+            // stream (the radix2 query extracts c from both halves).
+            for (auto& s : rp.senders) co_await s->push(batch[i]);
+          }
         }
-        if (rp.senders.empty()) continue;  // no subscribers: discard
-        if (rp.senders.size() == 1) {
-          co_await rp.senders[0]->push(std::move(*obj));
-        } else {
-          // Stream splitting: every subscriber receives the full stream
-          // (the radix2 query extracts c from both halves).
-          for (auto& s : rp.senders) co_await s->push(*obj);
-        }
+        if (stopped_here) break;
       }
     }
     for (auto& s : rp.senders) co_await s->finish();

@@ -61,6 +61,12 @@ struct ExecOptions {
   /// still-running query is stopped (its RPs are terminated and the
   /// partial results returned with RunReport::stopped set). 0 disables.
   double max_sim_time_s = 1e6;
+  /// Batch depth for batch-at-a-time SQEP execution. 0 = resolve from
+  /// the SCSQ_BATCH_SIZE environment variable at engine construction
+  /// (default 256); 1 = exact per-item execution with no fusion pass.
+  /// Simulated timing is bitwise-identical at every depth — only the
+  /// host-side work per simulated item changes.
+  std::size_t batch_size = 0;
 };
 
 /// One producer→consumer stream connection, reported after the run.
@@ -86,6 +92,9 @@ struct RpStat {
   double recv_wait_s = 0.0;  // blocked on empty inboxes
   double marshal_s = 0.0;    // send-side marshal CPU
   double demarshal_s = 0.0;  // receive-side de-marshal + alloc CPU
+  std::uint64_t batches = 0;      // non-empty batches the SQEP root delivered
+  std::uint64_t batch_items = 0;  // items across those batches (mean fill
+                                  // = batch_items / batches)
 };
 
 struct RunReport {

@@ -1,0 +1,36 @@
+// Plan-build-time fusion of stateless operator chains.
+//
+// A chain like streamof(count(extract(a))) — the paper's Fig. 6
+// measurement query — executes per-item as a tower of coroutine frames
+// (Pass -> Count -> Receive) with one cpu->use(op_invoke_s) suspension
+// per stream element. The fusion pass collapses such chains into a
+// single FusedPipelineOp that pulls its source batch-at-a-time and
+// charges ONE aggregated CPU hold per batch, where the hold's end time
+// is the left-to-right fold of the exact per-item cost expressions
+// (src/plan/op_costs.hpp) in per-item order. Because the fold performs
+// the same floating-point additions the per-item path performs, the
+// simulated clock lands on bitwise-identical timestamps at any batch
+// depth — the invariant every Fig. 6/8/15 table rests on.
+//
+// Fusable shape (after stripping streamof wrappers):
+//     [count | sum]? (streamof | odd | even | fft)*  source
+// with source one of extract(sp), gen_array(b,n), gen_stream(b),
+// iota(...), grep(p,f). Anything else — merge, windows, radixcombine,
+// linear-road operators — is left to the regular builder and runs
+// per-item (their charge patterns interleave with other simulated
+// processes, so aggregation would reorder the timeline).
+#pragma once
+
+#include "plan/operator.hpp"
+
+namespace scsq::plan {
+
+/// Attempts to build a fused batched pipeline for `expr`. Returns
+/// nullptr when the expression does not match a fusable shape or when
+/// ctx.batch_size <= 1 (per-item mode) — the regular builder then
+/// handles the expression, including all error reporting. Only
+/// side-effect-free checks run before the match is committed, so a
+/// nullptr return leaves no stray stream subscriptions behind.
+OperatorPtr try_build_fused(const scsql::ExprPtr& expr, PlanContext& ctx);
+
+}  // namespace scsq::plan

@@ -1,0 +1,22 @@
+#include "plan/operator.hpp"
+
+namespace scsq::plan {
+
+// Conservative default batch adapter: one item per call. See the header
+// comment — looping next() here would be wrong for operators whose
+// children interleave CPU charges with other simulated processes. The
+// engine's drive loop simply calls next_batch repeatedly, so a
+// one-item implementation is always *correct*; batch-native operators
+// override for throughput.
+sim::Task<void> Operator::next_batch(ItemBatch& out, std::size_t max) {
+  (void)max;
+  auto obj = co_await next();
+  if (!obj) {
+    out.mark_eos();
+    co_return;
+  }
+  out.push(std::move(*obj));
+  count_batch(1);
+}
+
+}  // namespace scsq::plan

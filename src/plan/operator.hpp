@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/batch.hpp"
 #include "catalog/object.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/location.hpp"
@@ -24,6 +25,9 @@
 
 namespace scsq::plan {
 
+/// Batch of stream objects flowing between operators (see catalog/batch.hpp).
+using ItemBatch = catalog::ItemBatch;
+
 /// Everything an operator needs about the RP it runs in. Owned by the
 /// RP; must outlive the plan.
 struct PlanContext {
@@ -31,6 +35,10 @@ struct PlanContext {
   hw::Location loc;
   sim::Resource* cpu = nullptr;  // compute CPU of the RP's node
   hw::NodeParams node;
+  /// Batch depth for batch-at-a-time execution. 1 = per-item execution
+  /// (the exact pre-batching pipeline, and no fusion pass); the engine
+  /// plumbs ExecOptions::batch_size / SCSQ_BATCH_SIZE here.
+  std::size_t batch_size = 1;
 
   /// Evaluates a non-streaming expression (literal, captured variable,
   /// arithmetic, iota, bag constructor) to a value. Supplied by the
@@ -58,8 +66,43 @@ class Operator {
   /// Must not be called again after it returned nullopt.
   virtual sim::Task<std::optional<catalog::Object>> next() = 0;
 
+  /// Batch pull: appends up to `max` (>= 1) elements to `out` and marks
+  /// `out` EOS once the stream has ended (a batch may carry final items
+  /// and the EOS flag together). Must not be called again after an EOS
+  /// batch. The base implementation delivers exactly ONE item per call
+  /// via next() — deliberately, not a loop: pulling an arbitrary child
+  /// several times without returning control could reorder its CPU
+  /// charges against other processes contending for the same simulated
+  /// resources (a merge pump, a sender drain), and the batch contract
+  /// is that the simulated timeline is bit-identical at every depth.
+  /// Operators whose charge pattern provably commutes override this
+  /// with a real batched path.
+  virtual sim::Task<void> next_batch(ItemBatch& out, std::size_t max);
+
+  /// Items delivered / batches counted by next_batch (empty EOS-only
+  /// pulls are not counted, so items/batches is the mean batch fill).
+  struct BatchCounters {
+    std::uint64_t batches = 0;
+    std::uint64_t items = 0;
+    double mean_fill() const {
+      return batches == 0 ? 0.0 : static_cast<double>(items) / static_cast<double>(batches);
+    }
+  };
+  const BatchCounters& batch_counters() const { return batch_counters_; }
+
   /// Operator name for plan dumps ("count", "gen_array", ...).
   virtual std::string name() const = 0;
+
+ protected:
+  /// Accounting hook for next_batch implementations; call once per
+  /// non-empty delivered batch.
+  void count_batch(std::size_t items) {
+    ++batch_counters_.batches;
+    batch_counters_.items += items;
+  }
+
+ private:
+  BatchCounters batch_counters_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

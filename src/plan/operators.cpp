@@ -4,6 +4,7 @@
 
 #include "funcs/fft.hpp"
 #include "funcs/textgen.hpp"
+#include "plan/op_costs.hpp"
 
 namespace scsq::plan {
 
@@ -18,7 +19,7 @@ ConstOp::ConstOp(PlanContext& ctx, Object value) : ctx_(&ctx), value_(std::move(
 sim::Task<std::optional<Object>> ConstOp::next() {
   if (emitted_) co_return std::nullopt;
   emitted_ = true;
-  co_await ctx_->cpu->use(ctx_->node.op_invoke_s);
+  co_await ctx_->cpu->use(op_costs::invoke(ctx_->node));
   co_return std::optional<Object>(value_);
 }
 
@@ -27,8 +28,23 @@ BagStreamOp::BagStreamOp(PlanContext& ctx, catalog::Bag values)
 
 sim::Task<std::optional<Object>> BagStreamOp::next() {
   if (index_ >= values_.size()) co_return std::nullopt;
-  co_await ctx_->cpu->use(ctx_->node.op_invoke_s);
+  co_await ctx_->cpu->use(op_costs::invoke(ctx_->node));
   co_return std::optional<Object>(values_[index_++]);
+}
+
+sim::Task<void> BagStreamOp::next_batch(ItemBatch& out, std::size_t max) {
+  if (index_ >= values_.size()) {
+    out.mark_eos();
+    co_return;
+  }
+  const std::size_t n = std::min(max, values_.size() - index_);
+  // The per-item cost is the same constant for every element, so one
+  // aggregated hold folding it n times reproduces the per-item clock
+  // bitwise (use_repeated's left-to-right addition chain).
+  co_await ctx_->cpu->use_repeated(op_costs::invoke(ctx_->node), n);
+  for (std::size_t i = 0; i < n; ++i) out.push(Object{values_[index_++]});
+  if (index_ >= values_.size()) out.mark_eos();
+  count_batch(n);
 }
 
 // ---------------------------------------------------------------------
@@ -41,11 +57,30 @@ GenArrayOp::GenArrayOp(PlanContext& ctx, std::uint64_t bytes, std::int64_t count
 sim::Task<std::optional<Object>> GenArrayOp::next() {
   if (count_ >= 0 && produced_ >= count_) co_return std::nullopt;
   // Producing the array content costs CPU on the generating node.
-  co_await ctx_->cpu->use(ctx_->node.op_invoke_s +
-                          static_cast<double>(bytes_) * ctx_->node.gen_per_byte_s);
+  co_await ctx_->cpu->use(op_costs::gen_array(ctx_->node, bytes_));
   catalog::SynthArray arr{bytes_, static_cast<std::uint64_t>(produced_)};
   ++produced_;
   co_return std::optional<Object>(Object{arr});
+}
+
+sim::Task<void> GenArrayOp::next_batch(ItemBatch& out, std::size_t max) {
+  if (count_ >= 0 && produced_ >= count_) {
+    out.mark_eos();
+    co_return;
+  }
+  std::size_t n = max;
+  if (count_ >= 0) {
+    n = std::min<std::size_t>(n, static_cast<std::size_t>(count_ - produced_));
+  }
+  // Constant per-item cost: one aggregated hold lands on the bitwise
+  // per-item end time (see BagStreamOp::next_batch).
+  co_await ctx_->cpu->use_repeated(op_costs::gen_array(ctx_->node, bytes_), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push(Object{catalog::SynthArray{bytes_, static_cast<std::uint64_t>(produced_)}});
+    ++produced_;
+  }
+  if (count_ >= 0 && produced_ >= count_) out.mark_eos();
+  count_batch(n);
 }
 
 // ---------------------------------------------------------------------
@@ -53,6 +88,15 @@ sim::Task<std::optional<Object>> GenArrayOp::next() {
 // ---------------------------------------------------------------------
 
 sim::Task<std::optional<Object>> ReceiveOp::next() { return driver_->next(); }
+
+sim::Task<void> ReceiveOp::next_batch(ItemBatch& out, std::size_t max) {
+  const std::size_t n = co_await driver_->next_batch(out, max);
+  // A zero-item pull means the stream ended; a non-empty batch may also
+  // exhaust the driver, in which case the EOS flag rides along (the
+  // extra per-item next() returning nullopt had no simulated effect).
+  if (n == 0 || driver_->exhausted()) out.mark_eos();
+  if (n > 0) count_batch(n);
+}
 
 MergeOp::MergeOp(PlanContext& ctx, std::vector<transport::ReceiverDriver*> drivers)
     : ctx_(&ctx), drivers_(std::move(drivers)), out_(*ctx.sim, 1) {
@@ -78,6 +122,29 @@ sim::Task<std::optional<Object>> MergeOp::next() {
   co_return co_await out_.recv();
 }
 
+sim::Task<void> MergeOp::next_batch(ItemBatch& out, std::size_t max) {
+  ensure_started();
+  auto first = co_await out_.recv();
+  if (!first) {
+    out.mark_eos();
+    co_return;
+  }
+  out.push(std::move(*first));
+  std::size_t n = 1;
+  // Drain whatever the pumps already buffered without suspending. The
+  // out_ channel keeps capacity 1 — widening it would change pump
+  // backpressure and thus the simulated interleaving — so this drain
+  // takes at most what individual next() calls at the same timestamp
+  // would have taken, in the same arrival order.
+  while (n < max) {
+    auto more = out_.try_recv();
+    if (!more) break;
+    out.push(std::move(*more));
+    ++n;
+  }
+  count_batch(n);
+}
+
 // ---------------------------------------------------------------------
 // CountOp / SumOp
 // ---------------------------------------------------------------------
@@ -89,7 +156,7 @@ sim::Task<std::optional<Object>> CountOp::next() {
   done_ = true;
   std::int64_t n = 0;
   while (auto obj = co_await child_->next()) {
-    co_await ctx_->cpu->use(ctx_->node.op_invoke_s);
+    co_await ctx_->cpu->use(op_costs::invoke(ctx_->node));
     ++n;
   }
   co_return std::optional<Object>(Object{n});
@@ -104,7 +171,7 @@ sim::Task<std::optional<Object>> SumOp::next() {
   double real_sum = 0.0;
   bool all_int = true;
   while (auto obj = co_await child_->next()) {
-    co_await ctx_->cpu->use(ctx_->node.op_invoke_s);
+    co_await ctx_->cpu->use(op_costs::invoke(ctx_->node));
     if (obj->kind() == catalog::Kind::kInt && all_int) {
       int_sum += obj->as_int();
     } else {
@@ -139,20 +206,17 @@ sim::Task<std::optional<Object>> ArrayMapOp::next() {
   auto obj = co_await child_->next();
   if (!obj) co_return std::nullopt;
   const auto& in = obj->as_darray();
-  const double n = static_cast<double>(in.size());
   switch (fn_) {
     case Fn::kOdd: {
-      co_await ctx_->cpu->use(ctx_->node.op_invoke_s + n * ctx_->node.flop_s);
+      co_await ctx_->cpu->use(op_costs::array_select(ctx_->node, in.size()));
       co_return std::optional<Object>(Object{funcs::odd(in)});
     }
     case Fn::kEven: {
-      co_await ctx_->cpu->use(ctx_->node.op_invoke_s + n * ctx_->node.flop_s);
+      co_await ctx_->cpu->use(op_costs::array_select(ctx_->node, in.size()));
       co_return std::optional<Object>(Object{funcs::even(in)});
     }
     case Fn::kFft: {
-      // ~5 n log2 n flops for a radix-2 FFT.
-      const double flops = in.size() <= 1 ? 1.0 : 5.0 * n * std::log2(n);
-      co_await ctx_->cpu->use(ctx_->node.op_invoke_s + flops * ctx_->node.flop_s);
+      co_await ctx_->cpu->use(op_costs::array_fft(ctx_->node, in.size()));
       co_return std::optional<Object>(Object{funcs::fft(in)});
     }
   }
@@ -175,8 +239,7 @@ sim::Task<std::optional<Object>> RadixCombineOp::next() {
   }
   const auto& o = odd_obj->as_carray();
   const auto& e = even_obj->as_carray();
-  const double n = static_cast<double>(o.size() + e.size());
-  co_await ctx_->cpu->use(ctx_->node.op_invoke_s + 6.0 * n * ctx_->node.flop_s);
+  co_await ctx_->cpu->use(op_costs::radix_combine(ctx_->node, o.size() + e.size()));
   co_return std::optional<Object>(Object{funcs::radix_combine(e, o)});
 }
 
@@ -187,24 +250,38 @@ sim::Task<std::optional<Object>> RadixCombineOp::next() {
 GrepOp::GrepOp(PlanContext& ctx, std::string pattern, std::string filename)
     : ctx_(&ctx), pattern_(std::move(pattern)), filename_(std::move(filename)) {}
 
-sim::Task<std::optional<Object>> GrepOp::next() {
-  if (!scanned_) {
-    scanned_ = true;
-    std::uint64_t scanned_bytes = 0;
-    auto lines = funcs::file_lines(filename_);
-    for (auto& line : lines) scanned_bytes += line.size();
-    // Scanning cost: one pass over the file content.
-    co_await ctx_->cpu->use(ctx_->node.op_invoke_s +
-                            static_cast<double>(scanned_bytes) *
-                                ctx_->node.marshal_per_byte_s);
-    for (auto& line : funcs::grep_file(pattern_, filename_)) {
-      matches_.push_back(std::move(line));
-    }
+sim::Task<void> GrepOp::scan() {
+  scanned_ = true;
+  std::uint64_t scanned_bytes = 0;
+  auto lines = funcs::file_lines(filename_);
+  for (auto& line : lines) scanned_bytes += line.size();
+  // Scanning cost: one pass over the file content.
+  co_await ctx_->cpu->use(op_costs::grep_scan(ctx_->node, scanned_bytes));
+  for (auto& line : funcs::grep_file(pattern_, filename_)) {
+    matches_.push_back(std::move(line));
   }
+}
+
+sim::Task<std::optional<Object>> GrepOp::next() {
+  if (!scanned_) co_await scan();
   if (matches_.empty()) co_return std::nullopt;
   auto line = std::move(matches_.front());
   matches_.pop_front();
   co_return std::optional<Object>(Object{std::move(line)});
+}
+
+sim::Task<void> GrepOp::next_batch(ItemBatch& out, std::size_t max) {
+  if (!scanned_) co_await scan();
+  // Matches emit for free (the one scan charge covered them), so the
+  // whole result set can stream out in batches with no timing effect.
+  std::size_t n = 0;
+  while (n < max && !matches_.empty()) {
+    out.push(Object{std::move(matches_.front())});
+    matches_.pop_front();
+    ++n;
+  }
+  if (matches_.empty()) out.mark_eos();
+  if (n > 0) count_batch(n);
 }
 
 // ---------------------------------------------------------------------
@@ -223,8 +300,7 @@ sim::Task<std::optional<Object>> ReceiverSourceOp::next() {
   if (arrays_.empty()) co_return std::nullopt;
   auto arr = std::move(arrays_.front());
   arrays_.pop_front();
-  co_await ctx_->cpu->use(ctx_->node.op_invoke_s +
-                          8.0 * static_cast<double>(arr.size()) * ctx_->node.gen_per_byte_s);
+  co_await ctx_->cpu->use(op_costs::receiver_ingest(ctx_->node, arr.size()));
   co_return std::optional<Object>(Object{std::move(arr)});
 }
 

@@ -27,6 +27,7 @@ class BagStreamOp final : public Operator {
  public:
   BagStreamOp(PlanContext& ctx, catalog::Bag values);
   sim::Task<std::optional<catalog::Object>> next() override;
+  sim::Task<void> next_batch(ItemBatch& out, std::size_t max) override;
   std::string name() const override { return "bag"; }
 
  private:
@@ -44,6 +45,7 @@ class GenArrayOp final : public Operator {
  public:
   GenArrayOp(PlanContext& ctx, std::uint64_t bytes, std::int64_t count);
   sim::Task<std::optional<catalog::Object>> next() override;
+  sim::Task<void> next_batch(ItemBatch& out, std::size_t max) override;
   std::string name() const override { return "gen_array"; }
 
  private:
@@ -58,6 +60,7 @@ class ReceiveOp final : public Operator {
  public:
   explicit ReceiveOp(transport::ReceiverDriver& driver) : driver_(&driver) {}
   sim::Task<std::optional<catalog::Object>> next() override;
+  sim::Task<void> next_batch(ItemBatch& out, std::size_t max) override;
   std::string name() const override { return "receive"; }
 
  private:
@@ -71,6 +74,7 @@ class MergeOp final : public Operator {
  public:
   MergeOp(PlanContext& ctx, std::vector<transport::ReceiverDriver*> drivers);
   sim::Task<std::optional<catalog::Object>> next() override;
+  sim::Task<void> next_batch(ItemBatch& out, std::size_t max) override;
   std::string name() const override { return "merge"; }
 
  private:
@@ -116,6 +120,12 @@ class PassOp final : public Operator {
  public:
   explicit PassOp(OperatorPtr child) : child_(std::move(child)) {}
   sim::Task<std::optional<catalog::Object>> next() override { return child_->next(); }
+  /// Forwarding is batch-transparent: the child's batch is our batch.
+  sim::Task<void> next_batch(ItemBatch& out, std::size_t max) override {
+    const std::size_t before = out.size();
+    co_await child_->next_batch(out, max);
+    if (out.size() > before) count_batch(out.size() - before);
+  }
   std::string name() const override { return "streamof"; }
 
  private:
@@ -158,9 +168,12 @@ class GrepOp final : public Operator {
  public:
   GrepOp(PlanContext& ctx, std::string pattern, std::string filename);
   sim::Task<std::optional<catalog::Object>> next() override;
+  sim::Task<void> next_batch(ItemBatch& out, std::size_t max) override;
   std::string name() const override { return "grep"; }
 
  private:
+  sim::Task<void> scan();
+
   PlanContext* ctx_;
   std::string pattern_;
   std::string filename_;

@@ -176,4 +176,48 @@ sim::Task<std::optional<catalog::Object>> ReceiverDriver::next() {
   co_return std::optional<catalog::Object>(std::move(obj));
 }
 
+sim::Task<std::size_t> ReceiverDriver::next_batch(catalog::ItemBatch& out,
+                                                  std::size_t max) {
+  std::size_t delivered = 0;
+  while (delivered < max) {
+    if (ready_head_ < ready_.size()) {
+      out.push(std::move(ready_[ready_head_]));
+      ++ready_head_;
+      ++delivered;
+      if (ready_head_ == ready_.size()) {
+        ready_.clear();
+        ready_head_ = 0;
+      }
+      continue;
+    }
+    // Nothing materialized. Stop at a frame boundary once anything was
+    // delivered (see header: taking the next frame early would release
+    // sender backpressure ahead of the per-item timeline); otherwise
+    // pull frames — identical to next()'s inner loop, including pulling
+    // *several* frames back-to-back when a frame completes no object
+    // (large arrays spanning many buffers).
+    if (delivered > 0 || eos_) break;
+    const double wait_start = sim_->now();
+    auto frame = co_await inbox_.recv();
+    wait_seconds_ += sim_->now() - wait_start;
+    if (!frame) {  // channel force-closed (teardown)
+      eos_ = true;
+      break;
+    }
+    bytes_ += frame->bytes;
+    const double cost =
+        static_cast<double>(frame->bytes) * params_.marshal_per_byte_s *
+            params_.factor(frame->bytes) +
+        static_cast<double>(frame->objects.size()) * params_.alloc_per_object_s;
+    demarshal_seconds_ += cost;
+    co_await cpu_->use(cost);
+    ready_.clear();
+    ready_head_ = 0;
+    std::swap(ready_, frame->objects);
+    if (frame->eos) eos_ = true;
+    if (frame->pool) frame->pool->recycle(std::move(*frame));
+  }
+  co_return delivered;
+}
+
 }  // namespace scsq::transport

@@ -87,6 +87,19 @@ validate_json "$TMPD/fig6_profile.jsonl"
 echo "   profile JSONL ok ($(wc -l < "$TMPD/fig6_profile.jsonl") records), stdout byte-identical"
 "$BUILD/tools/metrics_diff" --check-profile "$TMPD/fig6_profile.jsonl"
 
+# Batch-execution invariance: the fig8 quick tables must be byte-
+# identical with batching disabled (SCSQ_BATCH_SIZE=1, the exact
+# per-item path) and at the default batch size. Only the [harness]
+# banner line may differ — it reports host wall clock.
+echo "== bench_fig8_merge batch invariance =="
+SCSQ_BATCH_SIZE=1 "$BUILD/bench/bench_fig8_merge" 2> /dev/null \
+  | grep -v '^\[harness\]' > "$TMPD/fig8_batch1.txt"
+"$BUILD/bench/bench_fig8_merge" 2> /dev/null \
+  | grep -v '^\[harness\]' > "$TMPD/fig8_batchdef.txt"
+cmp "$TMPD/fig8_batch1.txt" "$TMPD/fig8_batchdef.txt" || {
+  echo "SCSQ_BATCH_SIZE changed bench output"; exit 1; }
+echo "   fig8 tables byte-identical at SCSQ_BATCH_SIZE=1 vs default"
+
 # Shell EXPLAIN ANALYZE smoke on the Fig. 8 merge query: the report must
 # show the plan tree, a critical path, and a 100% attribution total.
 echo "== scsql_shell explain analyze =="
@@ -103,17 +116,21 @@ grep -Eq 'total +.* 100\.0%' "$TMPD/explain_out.txt" || { echo "attribution does
 # must at least run to completion on every change (pool + flat writer
 # smoke; perf is tracked separately via BENCH_kernels.json).
 echo "== bench_kernels marshal/frame smoke =="
-"$BUILD/bench/bench_kernels" --benchmark_filter='BM_(MarshalRoundTrip|FrameCutterCut|FramePoolRecycle)' > /dev/null
+"$BUILD/bench/bench_kernels" --benchmark_filter='BM_(MarshalRoundTrip|FrameCutterCut|FramePoolRecycle|OperatorPipeline)' > /dev/null
 
 # ASAN pass over the transport tests: the pooled frame/marshal data
 # plane recycles buffers aggressively, so guard against use-after-
 # recycle and buffer overruns. Skipped when the toolchain cannot link
 # a trivial -fsanitize=address program (e.g. libasan not installed).
 if echo 'int main(){}' | c++ -x c++ -fsanitize=address -o /dev/null - 2> /dev/null; then
-  echo "== transport_test under AddressSanitizer =="
+  echo "== transport_test + batch pipeline under AddressSanitizer =="
   cmake -B "$BUILD-asan" -S . -DSCSQ_ASAN=ON > /dev/null
-  cmake --build "$BUILD-asan" -j"$(nproc)" --target transport_test > /dev/null
+  cmake --build "$BUILD-asan" -j"$(nproc)" --target transport_test bench_kernels > /dev/null
   "$BUILD-asan/tests/transport_test"
+  # Batched operator pulls recycle ItemBatch slots across frames; run the
+  # pipeline microbenches under ASAN to catch use-after-recycle there.
+  "$BUILD-asan/bench/bench_kernels" \
+    --benchmark_filter='BM_OperatorPipeline' --benchmark_min_time=0.01 > /dev/null
 else
   echo "== skipping ASAN pass (toolchain lacks AddressSanitizer) =="
 fi
