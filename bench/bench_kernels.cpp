@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "funcs/fft.hpp"
+#include "hw/lp_workload.hpp"
 #include "net/topology.hpp"
 #include "plan/builder.hpp"
 #include "plan/operators.hpp"
@@ -412,6 +413,37 @@ void BM_ChannelPingPong(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5'000);
 }
 BENCHMARK(BM_ChannelPingPong);
+
+// Conservative parallel runtime: the fig15-shaped inbound workload of
+// hw/lp_workload.hpp on a rack-scale machine (512 compute nodes, 64
+// psets, 16 back-ends), swept over the LP count. Workers = one per LP
+// (the host decides how many actually run in parallel); items/s counts
+// kernel events across all LPs. The checksum is asserted against the
+// 1-LP run — the bench doubles as a determinism canary.
+void BM_ParallelSim(benchmark::State& state) {
+  const int lps = static_cast<int>(state.range(0));
+  const auto cost = scsq::hw::CostModel::bluegene_rack();
+  scsq::hw::LpWorkloadOptions options;
+  options.messages_per_backend = 128;
+  options.work_per_event = 32;
+  static const std::uint64_t reference =
+      scsq::hw::run_lp_workload(cost, 1, 1, options).checksum;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto result = scsq::hw::run_lp_workload(cost, lps, 0, options);
+    if (result.checksum != reference) {
+      state.SkipWithError("LP-count determinism violation");
+      return;
+    }
+    events += result.events;
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+// UseRealTime: the LP workers run on their own threads, which the
+// benchmark's per-thread CPU clock does not see — wall time is the only
+// honest throughput denominator for lps > 1.
+BENCHMARK(BM_ParallelSim)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

@@ -43,6 +43,36 @@ bool quick_mode() { return std::getenv("SCSQ_BENCH_QUICK") != nullptr; }
 
 unsigned bench_threads() { return util::ThreadPool::default_threads(); }
 
+int sim_lps() {
+  if (const char* env = std::getenv("SCSQ_SIM_LPS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<int>(v);
+  }
+  return 1;
+}
+
+unsigned plp_workers(int lps) {
+  unsigned workers = lps < 1 ? 1u : static_cast<unsigned>(lps);
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (workers > hw) workers = hw;
+  const unsigned sweep_threads = std::max(1u, bench_threads());
+  if (sweep_threads * workers > hw) {
+    const unsigned capped = std::max(1u, hw / sweep_threads);
+    // Warn once per process: sweeps call this per point.
+    static std::atomic<bool> warned{false};
+    if (capped < workers && !warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "[harness] oversubscribed: %u sweep threads x %d LPs > %u hardware threads; "
+                   "capping LP workers at %u (results unaffected)\n",
+                   sweep_threads, lps, hw, capped);
+    }
+    workers = capped;
+  }
+  return workers;
+}
+
 int arrays_for_buffer(std::uint64_t buffer_bytes) {
   const int full = quick_mode() ? 10 : kFullArrays;
   // Cap the per-producer message count around 200k.

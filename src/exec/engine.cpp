@@ -34,11 +34,26 @@ std::size_t resolve_batch_size(std::size_t configured) {
   return kDefaultBatchSize;
 }
 
+/// sim_lps == 0 means "resolve from the environment": SCSQ_SIM_LPS if
+/// set to a positive integer, otherwise 1 (the sequential fast path).
+/// Same write-back convention as resolve_batch_size.
+int resolve_sim_lps(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("SCSQ_SIM_LPS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<int>(v);
+  }
+  return 1;
+}
+
 }  // namespace
 
 Engine::Engine(hw::Machine& machine, ExecOptions options)
     : machine_(&machine), options_(std::move(options)) {
   options_.batch_size = resolve_batch_size(options_.batch_size);
+  options_.sim_lps = resolve_sim_lps(options_.sim_lps);
+  partition_ = machine_->partition(options_.sim_lps);
   auto& sim = machine_->sim();
   fe_cc_ = std::make_unique<ClusterCoordinator>(sim, hw::kFrontEnd,
                                                 machine_->cndb(hw::kFrontEnd),
@@ -180,6 +195,7 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
       s.batches = rp->root->batch_counters().batches;
       s.batch_items = rp->root->batch_counters().items;
     }
+    s.lp = partition_.lp_of(rp->loc);
     publish_rp_metrics(s);
     report.rps.push_back(std::move(s));
   }
@@ -188,6 +204,15 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
   machine_->metrics().gauge("engine.setup_s").set(report.setup_s);
   machine_->metrics().gauge("engine.elapsed_s").set(report.elapsed_s);
   machine_->metrics().gauge("engine.rp_count").set(static_cast<double>(report.rp_count));
+  // LP partition affinity: requested = SCSQ_SIM_LPS (after clamping to
+  // the pset count), effective = 1 because the engine data plane shares
+  // zero-lookahead state (frame pool, io_coordination_factor, the
+  // machine-wide registry) and therefore always collapses to the
+  // sequential path — which is also why its output is byte-identical at
+  // every requested LP count. See DESIGN.md §5.6.
+  machine_->metrics().gauge("engine.sim_lps.requested")
+      .set(static_cast<double>(partition_.lp_count));
+  machine_->metrics().gauge("engine.sim_lps.effective").set(1.0);
   return report;
 }
 
@@ -208,6 +233,7 @@ void Engine::publish_rp_metrics(const RpStat& s) {
       .set(s.batches == 0 ? 0.0
                           : static_cast<double>(s.batch_items) /
                                 static_cast<double>(s.batches));
+  registry.gauge("engine.rp.lp", labels).set(static_cast<double>(s.lp));
 }
 
 obs::Profile Engine::profile(const RunReport& report) const {

@@ -67,6 +67,17 @@ struct ExecOptions {
   /// Simulated timing is bitwise-identical at every depth — only the
   /// host-side work per simulated item changes.
   std::size_t batch_size = 0;
+  /// Logical-process count for the conservative partition of the
+  /// simulated hardware (sim/plp.hpp, hw::make_partition). 0 = resolve
+  /// from the SCSQ_SIM_LPS environment variable at engine construction
+  /// (default 1). The partition assigns every RP an LP affinity
+  /// (RpStat::lp, engine.rp.lp); the engine's data plane itself keeps
+  /// executing on the sequential fast path regardless of the value —
+  /// shared couplings (frame pool, machine-wide coordination factors)
+  /// have zero lookahead, so its effective LP count is 1 and reported
+  /// results are byte-identical at every setting by construction. See
+  /// DESIGN.md §5.6.
+  int sim_lps = 0;
 };
 
 /// One producer→consumer stream connection, reported after the run.
@@ -95,6 +106,7 @@ struct RpStat {
   std::uint64_t batches = 0;      // non-empty batches the SQEP root delivered
   std::uint64_t batch_items = 0;  // items across those batches (mean fill
                                   // = batch_items / batches)
+  int lp = 0;  // logical process owning this RP's node (hw::LpPartition)
 };
 
 struct RunReport {
@@ -191,6 +203,7 @@ class Engine {
 
   hw::Machine* machine_;
   ExecOptions options_;
+  hw::LpPartition partition_;  // RP -> LP affinity (options_.sim_lps)
   std::unique_ptr<ClusterCoordinator> fe_cc_;
   std::unique_ptr<ClusterCoordinator> be_cc_;
   std::unique_ptr<ClusterCoordinator> bg_cc_;

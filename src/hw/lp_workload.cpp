@@ -1,0 +1,166 @@
+#include "hw/lp_workload.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "hw/machine.hpp"
+#include "net/topology.hpp"
+#include "util/logging.hpp"
+
+namespace scsq::hw {
+namespace {
+
+using sim::plp::Message;
+using sim::plp::NodeId;
+using sim::plp::Runtime;
+
+constexpr std::uint32_t kProduce = 1;  // back-end emits its next message
+constexpr std::uint32_t kForward = 2;  // I/O node forwards to a compute rank
+constexpr std::uint32_t kWork = 3;     // compute node processes a payload
+constexpr std::uint32_t kMerge = 4;    // merger folds a result
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Payload values travel in the Message's double slot; keep them inside
+// the 2^53 range where doubles are exact integers.
+constexpr std::uint64_t kValueMask = (1ull << 52) - 1;
+
+}  // namespace
+
+LpWorkloadResult run_lp_workload(const CostModel& cost, int lp_count, unsigned workers,
+                                 const LpWorkloadOptions& options) {
+  const LpPartition part = make_partition(cost, lp_count);
+  const int computes = cost.compute_node_count();
+  const int psets = computes / cost.pset_size;
+  const int backends = cost.backend_nodes;
+  const net::Torus3D topo(cost.torus_x, cost.torus_y, cost.torus_z);
+
+  // Per-message link costs, all bounded below by the partition
+  // lookaheads the runtime enforces (min_link_latency is the bytes -> 1,
+  // hops -> 1 floor of each formula).
+  const double bytes = static_cast<double>(options.payload_bytes);
+  const double eth_s = cost.ethernet.per_message_overhead_s +
+                       bytes / (cost.ethernet.nic_bandwidth_Bps * cost.ethernet.tcp_efficiency);
+  const double tree_s = cost.tree.io_per_message_overhead_s +
+                        bytes * cost.tree.io_forward_per_byte_s +
+                        bytes / cost.tree.link_bandwidth_Bps;
+  const auto torus_s = [&cost](int hops) {
+    return cost.torus.per_message_overhead_s + cost.torus.send_per_packet_s +
+           static_cast<double>(hops) *
+               (cost.torus.forward_per_packet_s +
+                static_cast<double>(cost.torus.packet_bytes) / cost.torus.link_bandwidth_Bps);
+  };
+
+  Runtime rt(part.lp_count);
+
+  // Node layout (creation order fixes NodeIds): compute ranks, then I/O
+  // nodes per pset, then back-end nodes.
+  std::vector<NodeId> compute_node(static_cast<std::size_t>(computes));
+  std::vector<NodeId> io_node(static_cast<std::size_t>(psets));
+  std::vector<NodeId> be_node(static_cast<std::size_t>(backends));
+
+  // The merger is compute rank 0's node; per-node state lives here and
+  // is only ever touched by the owning LP's worker.
+  const int merger_rank = 0;
+  struct MergerState {
+    std::uint64_t checksum = 0;
+    std::uint64_t merged = 0;
+  };
+  auto merger = std::make_unique<MergerState>();
+
+  for (int rank = 0; rank < computes; ++rank) {
+    const int lp = part.bg_compute_lp[static_cast<std::size_t>(rank)];
+    compute_node[static_cast<std::size_t>(rank)] = rt.add_node(
+        lp, [&, rank](Runtime::Context& ctx, const Message& m) {
+          if (m.tag == kWork) {
+            // Deterministic per-message compute burn, seeded by the
+            // partition-independent message identity.
+            std::uint64_t h = splitmix64(static_cast<std::uint64_t>(m.value)) ^
+                              (static_cast<std::uint64_t>(m.src) << 32);
+            for (int i = 0; i < options.work_per_event; ++i) h = splitmix64(h);
+            const int hops = topo.hop_distance(rank, merger_rank);
+            ctx.send(compute_node[static_cast<std::size_t>(merger_rank)],
+                     ctx.now() + torus_s(hops), kMerge, static_cast<double>(h & kValueMask));
+            return;
+          }
+          SCSQ_CHECK(m.tag == kMerge) << "unexpected tag " << m.tag;
+          SCSQ_CHECK(rank == merger_rank);
+          // Order-dependent fold: any deviation from the deterministic
+          // delivery order changes the checksum.
+          merger->checksum = splitmix64(merger->checksum * 31 +
+                                        (static_cast<std::uint64_t>(m.value) ^ m.src));
+          ++merger->merged;
+        });
+  }
+
+  for (int p = 0; p < psets; ++p) {
+    io_node[static_cast<std::size_t>(p)] =
+        rt.add_node(part.bg_io_lp[static_cast<std::size_t>(p)],
+                    [&](Runtime::Context& ctx, const Message& m) {
+                      SCSQ_CHECK(m.tag == kForward) << "unexpected tag " << m.tag;
+                      const int rank = static_cast<int>(m.value);
+                      // Tree hop: always intra-LP (psets are kept whole).
+                      ctx.send(compute_node[static_cast<std::size_t>(rank)], ctx.now() + tree_s,
+                               kWork, m.value);
+                    });
+  }
+
+  for (int b = 0; b < backends; ++b) {
+    be_node[static_cast<std::size_t>(b)] = rt.add_node(
+        part.be_lp[static_cast<std::size_t>(b)], [&, b](Runtime::Context& ctx, const Message& m) {
+          SCSQ_CHECK(m.tag == kProduce) << "unexpected tag " << m.tag;
+          // Spread the stream over compute ranks, co-prime stride so
+          // every rank sees traffic from several back-ends.
+          const std::uint64_t k = m.seq;
+          const int rank = static_cast<int>((static_cast<std::uint64_t>(b) * 17 + k * 5) %
+                                            static_cast<std::uint64_t>(computes));
+          const int pset = cost.pset_of(rank);
+          ctx.send(io_node[static_cast<std::size_t>(pset)], ctx.now() + eth_s, kForward,
+                   static_cast<double>(rank));
+        });
+  }
+
+  // Declare per-link-class lookaheads for exactly the LP pairs each link
+  // class can cross (set_lookahead keeps the minimum on double
+  // declarations).
+  for (int b = 0; b < backends; ++b) {
+    for (int p = 0; p < psets; ++p) {
+      rt.set_lookahead(part.be_lp[static_cast<std::size_t>(b)],
+                       part.bg_io_lp[static_cast<std::size_t>(p)], part.ethernet_lookahead_s);
+    }
+  }
+  for (int rank = 0; rank < computes; ++rank) {
+    rt.set_lookahead(part.bg_compute_lp[static_cast<std::size_t>(rank)],
+                     part.bg_compute_lp[static_cast<std::size_t>(merger_rank)],
+                     part.torus_lookahead_s);
+  }
+
+  // Seed each back-end's stream as staggered self-stimuli; emission
+  // times depend only on (backend, index), never on the partition.
+  for (int b = 0; b < backends; ++b) {
+    for (int k = 0; k < options.messages_per_backend; ++k) {
+      const double at = 1e-6 * static_cast<double>(k + 1) + 1e-8 * static_cast<double>(b);
+      rt.post_initial(be_node[static_cast<std::size_t>(b)], at, kProduce, 0.0);
+    }
+  }
+
+  rt.run(workers);
+
+  LpWorkloadResult result;
+  result.checksum = merger->checksum;
+  result.merged = merger->merged;
+  result.end_time_s = rt.end_time();
+  result.lp_count = rt.lp_count();
+  result.totals = rt.total_stats();
+  result.events = result.totals.events;
+  result.per_lp.reserve(static_cast<std::size_t>(rt.lp_count()));
+  for (int lp = 0; lp < rt.lp_count(); ++lp) result.per_lp.push_back(rt.lp_stats(lp));
+  return result;
+}
+
+}  // namespace scsq::hw

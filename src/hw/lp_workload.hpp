@@ -1,0 +1,52 @@
+// Fig. 15-shaped message workload on the conservative parallel runtime.
+//
+// Drives the inbound-stream scenario of the paper over sim/plp.hpp
+// instead of the coroutine engine: back-end nodes emit a stream of
+// messages across the Ethernet to each pset's I/O node, the I/O node
+// forwards over the tree to a compute node, the compute node burns a
+// deterministic amount of hash work and ships its result across the
+// torus to a merger rank that folds everything into an order-dependent
+// checksum. Latencies are derived from the same net/* parameter structs
+// the engine uses; LP assignment comes from hw::make_partition, so every
+// Ethernet and torus crossing respects the partition's link-latency
+// lookahead.
+//
+// The checksum folds messages in handler order, so it detects any
+// deviation from the deterministic (recv_time, src, seq) delivery order:
+// run_lp_workload must return bitwise identical results for every
+// (lp_count, workers) combination. This is both the cross-LP invariance
+// fixture of tests/plp_test.cpp and the body of the BM_ParallelSim
+// microbench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "sim/plp.hpp"
+
+namespace scsq::hw {
+
+struct LpWorkloadOptions {
+  int messages_per_backend = 64;  ///< stream length emitted by each back-end node
+  int work_per_event = 32;        ///< splitmix64 rounds per compute-node event
+  std::uint64_t payload_bytes = 4096;
+};
+
+struct LpWorkloadResult {
+  std::uint64_t checksum = 0;   ///< order-dependent fold at the merger ranks
+  std::uint64_t merged = 0;     ///< messages folded into the checksum
+  std::uint64_t events = 0;     ///< kernel events dispatched across all LPs
+  double end_time_s = 0.0;      ///< simulated completion time
+  int lp_count = 0;             ///< effective LP count (after clamping)
+  sim::plp::LpStats totals;     ///< summed runtime counters
+  std::vector<sim::plp::LpStats> per_lp;
+};
+
+/// Runs the workload on `lp_count` logical processes multiplexed over
+/// `workers` threads (0 = one per LP). Deterministic: the result is
+/// identical for every lp_count and worker count.
+LpWorkloadResult run_lp_workload(const CostModel& cost, int lp_count, unsigned workers,
+                                 const LpWorkloadOptions& options = {});
+
+}  // namespace scsq::hw

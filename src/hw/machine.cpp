@@ -146,4 +146,48 @@ double Machine::compute_mux_factor(int rank) const {
   return 1.0 + cost_.compute_mux_coeff * static_cast<double>(streams - 1);
 }
 
+int LpPartition::lp_of(const Location& loc) const {
+  const auto node = static_cast<std::size_t>(loc.node);
+  if (loc.cluster == kBlueGene) return bg_compute_lp.at(node);
+  if (loc.cluster == kBackEnd) return be_lp.at(node);
+  if (loc.cluster == kFrontEnd) return fe_lp.at(node);
+  SCSQ_CHECK(false) << "unknown cluster " << loc.cluster;
+  return 0;
+}
+
+LpPartition make_partition(const CostModel& cost, int lp_count) {
+  const int psets = cost.compute_node_count() / cost.pset_size;
+  if (lp_count < 1) lp_count = 1;
+  // Psets are the unit of partitioning (the tree network must stay
+  // inside one LP), so they are also the LP ceiling.
+  if (lp_count > psets) lp_count = psets;
+
+  LpPartition part;
+  part.lp_count = lp_count;
+  part.torus_lookahead_s = cost.torus.min_link_latency();
+  part.ethernet_lookahead_s = cost.ethernet.min_link_latency();
+  part.tree_lookahead_s = cost.tree.min_link_latency();
+
+  const auto chunk_of = [lp_count](int index, int total) {
+    return index * lp_count / total;
+  };
+  part.bg_compute_lp.resize(static_cast<std::size_t>(cost.compute_node_count()));
+  for (int rank = 0; rank < cost.compute_node_count(); ++rank) {
+    part.bg_compute_lp[static_cast<std::size_t>(rank)] = chunk_of(cost.pset_of(rank), psets);
+  }
+  part.bg_io_lp.resize(static_cast<std::size_t>(psets));
+  for (int p = 0; p < psets; ++p) {
+    part.bg_io_lp[static_cast<std::size_t>(p)] = chunk_of(p, psets);
+  }
+  part.be_lp.resize(static_cast<std::size_t>(cost.backend_nodes));
+  for (int n = 0; n < cost.backend_nodes; ++n) {
+    part.be_lp[static_cast<std::size_t>(n)] = chunk_of(n, cost.backend_nodes);
+  }
+  part.fe_lp.resize(static_cast<std::size_t>(cost.frontend_nodes));
+  for (int n = 0; n < cost.frontend_nodes; ++n) {
+    part.fe_lp[static_cast<std::size_t>(n)] = chunk_of(n, cost.frontend_nodes);
+  }
+  return part;
+}
+
 }  // namespace scsq::hw

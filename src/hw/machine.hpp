@@ -78,6 +78,40 @@ class BlueGene {
   Cndb cndb_;
 };
 
+/// Assignment of the simulated hardware to conservative logical
+/// processes (sim/plp.hpp). Psets are kept whole — a pset's compute
+/// nodes and its I/O node always share an LP, so the chatty tree network
+/// never crosses an LP boundary. The links that do cross boundaries, and
+/// therefore bound the channel lookahead, are torus hops between psets
+/// and Ethernet transfers between clusters; their strictly positive
+/// per-hop latency floors (net/*Params::min_link_latency) are recorded
+/// here for the runtime's set_lookahead calls.
+struct LpPartition {
+  int lp_count = 1;
+  double torus_lookahead_s = 0.0;     ///< min torus per-hop latency (pset-to-pset)
+  double ethernet_lookahead_s = 0.0;  ///< min LAN transfer latency (cluster-to-bg)
+  double tree_lookahead_s = 0.0;      ///< min tree latency (intra-LP by construction)
+  std::vector<int> bg_compute_lp;     ///< per compute rank
+  std::vector<int> bg_io_lp;          ///< per pset (same LP as its compute nodes)
+  std::vector<int> be_lp;             ///< per back-end node
+  std::vector<int> fe_lp;             ///< per front-end node
+
+  /// Smallest lookahead of any boundary-crossing link class.
+  double min_lookahead_s() const {
+    return torus_lookahead_s < ethernet_lookahead_s ? torus_lookahead_s : ethernet_lookahead_s;
+  }
+
+  /// The LP owning `loc` (engine RP -> LP affinity).
+  int lp_of(const Location& loc) const;
+};
+
+/// Partitions the hardware described by `cost` into `lp_count` logical
+/// processes (clamped to [1, pset count]): pset p of P maps to LP
+/// p*lps/P, its I/O node with it; back-end and front-end nodes are
+/// chunked over LPs the same way. Deterministic: depends only on the
+/// geometry and lp_count, never on thread count.
+LpPartition make_partition(const CostModel& cost, int lp_count);
+
 class Machine {
  public:
   explicit Machine(sim::Simulator& sim, CostModel cost = CostModel::lofar());
@@ -96,6 +130,10 @@ class Machine {
   bool has_cluster(const std::string& cluster) const;
   Cndb& cndb(const std::string& cluster);
   int node_count(const std::string& cluster) const;
+
+  /// Partitions this machine's topology into `lp_count` logical
+  /// processes (see make_partition).
+  LpPartition partition(int lp_count) const { return make_partition(cost_, lp_count); }
 
   /// The compute CPU resource an RP at `loc` charges operator work to.
   sim::Resource& cpu_of(const Location& loc);

@@ -35,6 +35,14 @@ struct EthernetParams {
   double tcp_efficiency = 0.94;          // goodput fraction after TCP/IP overhead
   double per_message_overhead_s = 20e-6; // per stream-buffer syscall + segmentation
   double imbalance_coeff = 0.17;         // sender NIC penalty per unit flow imbalance
+
+  /// Lower bound on the latency of any Ethernet transfer: the
+  /// per-message syscall overhead plus one byte of goodput. Strictly
+  /// positive — the conservative parallel runtime (sim/plp.hpp) uses it
+  /// as the lookahead of LP channels that cross the LAN.
+  double min_link_latency() const {
+    return per_message_overhead_s + 1.0 / (nic_bandwidth_Bps * tcp_efficiency);
+  }
 };
 
 using FlowId = std::uint64_t;

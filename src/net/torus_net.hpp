@@ -65,6 +65,16 @@ struct TorusParams {
   // reducing effective link rate by up to this fraction (scaled by the
   // same cache ramp). Second contributor to the Fig. 6 decline.
   double memory_slowdown_max = 0.18;
+
+  /// Lower bound on the latency of any torus message: fixed MPI send
+  /// cost, sender co-processor handling of one packet, and one packet's
+  /// wire time on a single link. Strictly positive — the conservative
+  /// parallel runtime (sim/plp.hpp) uses it as the lookahead of LP
+  /// channels that cross the torus.
+  double min_link_latency() const {
+    return per_message_overhead_s + send_per_packet_s +
+           static_cast<double>(packet_bytes) / link_bandwidth_Bps;
+  }
 };
 
 class TorusNetwork {

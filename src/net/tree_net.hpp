@@ -34,6 +34,14 @@ struct TreeParams {
   double io_per_message_overhead_s = 30e-6;
   double compute_recv_per_byte_s = 26.7e-9;  // compute-side ingest (~300 Mbit/s cap)
   double compute_per_message_overhead_s = 20e-6;
+
+  /// Lower bound on the latency of any tree-network hop: the fixed I/O
+  /// node per-message overhead plus one byte on the tree link. Strictly
+  /// positive — the conservative parallel runtime (sim/plp.hpp) uses it
+  /// as the lookahead of LP channels that cross the tree.
+  double min_link_latency() const {
+    return io_per_message_overhead_s + 1.0 / link_bandwidth_Bps;
+  }
 };
 
 class TreeNetwork {

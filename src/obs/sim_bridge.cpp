@@ -16,4 +16,34 @@ void bridge_sim_perf(Registry& registry, const sim::PerfCounters& perf) {
   registry.gauge("sim.peak_queue_depth").set(static_cast<double>(perf.peak_queue_depth));
 }
 
+void bridge_plp_stats(Registry& registry, const std::vector<sim::plp::LpStats>& per_lp) {
+  sim::plp::LpStats totals;
+  for (std::size_t i = 0; i < per_lp.size(); ++i) {
+    const auto& s = per_lp[i];
+    const Labels labels{{"lp", std::to_string(i)}};
+    registry.counter("sim.lp.events", labels).set_total(s.events);
+    registry.counter("sim.lp.windows", labels).set_total(s.windows);
+    registry.counter("sim.lp.stalls", labels).set_total(s.stalls);
+    registry.counter("sim.lp.null_updates", labels).set_total(s.null_updates);
+    registry.counter("sim.lp.msgs_sent", labels).set_total(s.msgs_sent);
+    registry.counter("sim.lp.msgs_recvd", labels).set_total(s.msgs_recvd);
+    registry.counter("sim.lp.mailbox_full", labels).set_total(s.mailbox_full);
+    totals.events += s.events;
+    totals.windows += s.windows;
+    totals.stalls += s.stalls;
+    totals.null_updates += s.null_updates;
+    totals.msgs_sent += s.msgs_sent;
+    totals.msgs_recvd += s.msgs_recvd;
+    totals.mailbox_full += s.mailbox_full;
+  }
+  registry.gauge("sim.lp.count").set(static_cast<double>(per_lp.size()));
+  registry.counter("sim.lp.total.events").set_total(totals.events);
+  registry.counter("sim.lp.total.windows").set_total(totals.windows);
+  registry.counter("sim.lp.total.stalls").set_total(totals.stalls);
+  registry.counter("sim.lp.total.null_updates").set_total(totals.null_updates);
+  registry.counter("sim.lp.total.msgs_sent").set_total(totals.msgs_sent);
+  registry.counter("sim.lp.total.msgs_recvd").set_total(totals.msgs_recvd);
+  registry.counter("sim.lp.total.mailbox_full").set_total(totals.mailbox_full);
+}
+
 }  // namespace scsq::obs

@@ -9,6 +9,9 @@
 // cumulative totals, so bridging twice does not double-count.
 #pragma once
 
+#include <vector>
+
+#include "sim/plp.hpp"
 #include "sim/simulator.hpp"
 
 namespace scsq::obs {
@@ -17,5 +20,12 @@ class Registry;
 
 /// Publishes `perf` into `registry` under sim.* metric names.
 void bridge_sim_perf(Registry& registry, const sim::PerfCounters& perf);
+
+/// Publishes the conservative parallel runtime's per-LP counters into
+/// `registry` as sim.lp.* metrics, one series per LP (label lp="<id>")
+/// plus unlabeled totals. Horizon-stall and null-message counters land
+/// here, next to the kernel and engine series. Idempotent like
+/// bridge_sim_perf: totals are set, not added.
+void bridge_plp_stats(Registry& registry, const std::vector<sim::plp::LpStats>& per_lp);
 
 }  // namespace scsq::obs

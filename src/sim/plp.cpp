@@ -1,0 +1,382 @@
+#include "sim/plp.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scsq::sim::plp {
+namespace {
+
+// Staging overflow is a min-heap by recv_time: only the minimum matters
+// (it clamps the channel-clock promise), and receivers re-order by the
+// full message key anyway, so ring insertion order is irrelevant.
+bool staged_after(const Message& a, const Message& b) { return a.recv_time > b.recv_time; }
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// A worker that makes no *global* progress for this many passes is a
+// protocol bug (e.g. an undeclared LP pair or a zero lookahead), not a
+// slow simulation: fail loudly instead of spinning forever.
+constexpr std::uint64_t kLivelockPasses = 10'000'000;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mailbox
+
+Mailbox::Mailbox(int src_lp, int dst_lp, Time lookahead, std::size_t capacity)
+    : src_lp_(src_lp),
+      dst_lp_(dst_lp),
+      lookahead_(lookahead),
+      ring_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(ring_.size() - 1) {
+  SCSQ_CHECK(lookahead > 0.0) << "lookahead must be strictly positive";
+}
+
+bool Mailbox::try_push(const Message& m) {
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= ring_.size()) return false;
+  ring_[tail & mask_] = m;
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+void Mailbox::post(const Message& m, LpStats& stats) {
+  // Sender invariant behind the receiver's drain protocol: nothing is
+  // ever posted below the already-published channel clock.
+  SCSQ_CHECK(m.recv_time >= clock_shadow_)
+      << "post below published channel clock: " << m.recv_time << " < " << clock_shadow_;
+  if (!staged_.empty() || !try_push(m)) {
+    staged_.push_back(m);
+    std::push_heap(staged_.begin(), staged_.end(), staged_after);
+    ++stats.mailbox_full;
+  }
+}
+
+bool Mailbox::flush() {
+  bool moved = false;
+  while (!staged_.empty()) {
+    std::pop_heap(staged_.begin(), staged_.end(), staged_after);
+    if (!try_push(staged_.back())) {
+      std::push_heap(staged_.begin(), staged_.end(), staged_after);
+      break;
+    }
+    staged_.pop_back();
+    moved = true;
+  }
+  return moved;
+}
+
+bool Mailbox::advance_clock(Time promise) {
+  // Staged messages are not yet visible in the ring, so the promise may
+  // not overtake the oldest of them.
+  if (!staged_.empty() && staged_.front().recv_time < promise) {
+    promise = staged_.front().recv_time;
+  }
+  if (promise <= clock_shadow_) return false;
+  clock_shadow_ = promise;
+  // Release pairs with the receiver's acquire in clock(): every ring
+  // push sequenced before this store is visible to a drain that follows
+  // a read of this clock value.
+  clock_.store(promise, std::memory_order_release);
+  return true;
+}
+
+std::size_t Mailbox::drain(std::vector<Message>& out) {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  for (std::size_t i = head; i != tail; ++i) {
+    out.push_back(ring_[i & mask_]);
+  }
+  head_.store(tail, std::memory_order_release);
+  return tail - head;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+
+Runtime::Runtime(int lp_count, Options options) : options_(options) {
+  SCSQ_CHECK(lp_count >= 1) << "need at least one logical process";
+  lps_.reserve(static_cast<std::size_t>(lp_count));
+  for (int i = 0; i < lp_count; ++i) {
+    lps_.push_back(std::make_unique<Lp>(i));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(lp_count) * static_cast<std::size_t>(lp_count));
+}
+
+Runtime::~Runtime() = default;
+
+Time Runtime::Context::now() const { return lp_->sim.now(); }
+
+void Runtime::Context::send(NodeId dst, Time recv_time, std::uint32_t tag, double value) {
+  rt_->send_from(*lp_, id_, dst, recv_time, tag, value);
+}
+
+NodeId Runtime::add_node(int lp, Handler handler) {
+  SCSQ_CHECK(!ran_) << "add_node after run";
+  SCSQ_CHECK(lp >= 0 && lp < lp_count()) << "bad LP index " << lp;
+  SCSQ_CHECK(handler != nullptr) << "node needs a handler";
+  nodes_.push_back(NodeState{lp, 0, std::move(handler), {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Runtime::set_lookahead(int src_lp, int dst_lp, Time lookahead) {
+  SCSQ_CHECK(!ran_) << "set_lookahead after run";
+  SCSQ_CHECK(src_lp >= 0 && src_lp < lp_count()) << "bad LP index " << src_lp;
+  SCSQ_CHECK(dst_lp >= 0 && dst_lp < lp_count()) << "bad LP index " << dst_lp;
+  if (src_lp == dst_lp) return;  // local sends bypass mailboxes
+  SCSQ_CHECK(lookahead > 0.0) << "lookahead must be strictly positive";
+  auto& slot =
+      mailboxes_[static_cast<std::size_t>(src_lp) * lps_.size() + static_cast<std::size_t>(dst_lp)];
+  if (slot) {
+    // Multiple simulated links between one LP pair: the channel promise
+    // must honor the tightest (smallest) per-hop latency.
+    if (lookahead < slot->lookahead()) slot->set_lookahead(lookahead);
+    return;
+  }
+  slot = std::make_unique<Mailbox>(src_lp, dst_lp, lookahead, options_.mailbox_capacity);
+  lps_[static_cast<std::size_t>(src_lp)]->out.push_back(slot.get());
+  lps_[static_cast<std::size_t>(dst_lp)]->in.push_back(slot.get());
+}
+
+void Runtime::set_uniform_lookahead(Time lookahead) {
+  for (int s = 0; s < lp_count(); ++s) {
+    for (int d = 0; d < lp_count(); ++d) {
+      if (s != d) set_lookahead(s, d, lookahead);
+    }
+  }
+}
+
+void Runtime::post_initial(NodeId dst, Time at, std::uint32_t tag, double value) {
+  SCSQ_CHECK(!ran_) << "post_initial after run";
+  SCSQ_CHECK(dst < nodes_.size()) << "bad node id " << dst;
+  SCSQ_CHECK(at >= 0.0) << "initial event in the past";
+  NodeState& node = nodes_[dst];
+  // Origin = the destination itself: initial stimuli sort among later
+  // traffic under the same (recv_time, src, seq) key, and their relative
+  // order is fixed by post_initial call order — identical at every LP
+  // count by construction.
+  Message m{at, at, dst, dst, tag, 0, node.next_seq++, value};
+  deliver_local(*lps_[static_cast<std::size_t>(node.lp)], m);
+}
+
+void Runtime::deliver_local(Lp& lp, const Message& m) {
+  NodeState& node = nodes_[m.dst];
+  node.inbox.push_back(m);
+  std::push_heap(node.inbox.begin(), node.inbox.end(), message_after);
+  // The delivery event pops the *inbox minimum*, not `m` itself: several
+  // same-time deliveries each pop the key-smallest pending message, which
+  // is what makes handling order independent of arrival order. Capture is
+  // two words so std::function stays on its inline buffer.
+  const std::uint64_t idx = m.dst;
+  lp.sim.call_at(m.recv_time, [this, idx] {
+    NodeState& n = nodes_[idx];
+    pop_and_handle(*lps_[static_cast<std::size_t>(n.lp)], n);
+  });
+}
+
+void Runtime::pop_and_handle(Lp& lp, NodeState& node) {
+  SCSQ_CHECK(!node.inbox.empty()) << "delivery event with empty inbox";
+  std::pop_heap(node.inbox.begin(), node.inbox.end(), message_after);
+  const Message m = node.inbox.back();
+  node.inbox.pop_back();
+  ++lp.deliveries;
+  Context ctx(this, &lp, m.dst);
+  node.handler(ctx, m);
+}
+
+void Runtime::send_from(Lp& src_lp, NodeId src, NodeId dst, Time recv_time, std::uint32_t tag,
+                        double value) {
+  SCSQ_CHECK(dst < nodes_.size()) << "bad node id " << dst;
+  NodeState& origin = nodes_[src];
+  Message m{src_lp.sim.now(), recv_time, src, dst, tag, 0, origin.next_seq++, value};
+  NodeState& target = nodes_[dst];
+  if (target.lp == src_lp.id) {
+    SCSQ_CHECK(recv_time > src_lp.sim.now())
+        << "same-LP send must be strictly in the future: " << recv_time;
+    deliver_local(src_lp, m);
+    return;
+  }
+  Mailbox* mb = mailbox(src_lp.id, target.lp);
+  SCSQ_CHECK(mb != nullptr) << "no lookahead declared for LP pair " << src_lp.id << " -> "
+                            << target.lp;
+  SCSQ_CHECK(recv_time >= src_lp.sim.now() + mb->lookahead())
+      << "cross-LP send violates lookahead: " << recv_time << " < now + " << mb->lookahead();
+  // Count before the ring push: a drained message always has its posted_
+  // increment behind it, so delivered_ can never overtake posted_ and
+  // posted_ == delivered_ (read delivered first) means no message is in
+  // flight.
+  posted_.fetch_add(1, std::memory_order_seq_cst);
+  mb->post(m, src_lp.stats);
+  ++src_lp.stats.msgs_sent;
+}
+
+bool Runtime::step_lp(Lp& lp) {
+  bool progressed = false;
+  // 1. Staged overflow first: frees promises clamped by the staging floor.
+  for (Mailbox* m : lp.out) progressed |= m->flush();
+  // 2. Snapshot input clocks *before* draining: the acquire read
+  //    guarantees every message below the snapshot is already in its
+  //    ring, so the drain that follows cannot miss one inside the window.
+  Time safe = Simulator::kNoLimit;
+  for (Mailbox* m : lp.in) safe = std::min(safe, m->clock());
+  // 3. Drain inputs into per-node inboxes.
+  std::uint64_t drained = 0;
+  for (Mailbox* m : lp.in) {
+    lp.drain_buf.clear();
+    m->drain(lp.drain_buf);
+    for (const Message& msg : lp.drain_buf) deliver_local(lp, msg);
+    drained += lp.drain_buf.size();
+  }
+  if (drained != 0) {
+    lp.stats.msgs_recvd += drained;
+    progressed = true;
+  }
+  // 4. Execute the safe window: strictly below the horizon.
+  const Time next = lp.sim.next_event_time();
+  if (next < safe) {
+    const std::uint64_t before = lp.sim.events_dispatched();
+    lp.sim.run_before(safe);
+    lp.stats.events += lp.sim.events_dispatched() - before;
+    ++lp.stats.windows;
+    progressed = true;
+  } else if (next < Simulator::kNoLimit) {
+    ++lp.stats.stalls;  // pending work blocked by a neighbor's clock
+  }
+  // 5. Republish output promises. `base` lower-bounds every future local
+  //    send time: pending events are at >= next_event_time(), and any
+  //    event a future message creates lands at >= safe (its recv_time is
+  //    at or above every input clock we just read).
+  const Time base = std::min(lp.sim.next_event_time(), safe);
+  for (Mailbox* m : lp.out) {
+    if (m->advance_clock(base + m->lookahead())) ++lp.stats.null_updates;
+  }
+  if (progressed) {
+    // Publication order (state before delivered_) is what the quiescence
+    // detector's collect -> counts -> re-collect sequence relies on: if
+    // it observed this step's deliveries in the counters, a re-read of
+    // lp.state must observe at least this serial.
+    const std::uint64_t serial = (lp.state.load(std::memory_order_relaxed) >> 1) + 1;
+    const std::uint64_t idle = lp.sim.next_event_time() == Simulator::kNoLimit ? 1u : 0u;
+    lp.state.store((serial << 1) | idle, std::memory_order_seq_cst);
+    if (drained != 0) delivered_.fetch_add(drained, std::memory_order_seq_cst);
+    progress_beat_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return progressed;
+}
+
+bool Runtime::quiescent() {
+  // Double collect with version numbers. Pass iff: every LP reports an
+  // empty event queue, no cross-LP message is in flight (delivered read
+  // before posted, then equal), and no LP completed a progress step while
+  // we looked. Any in-flight activity either flips an idle bit, bumps a
+  // serial between the two collects, or leaves posted_ ahead of
+  // delivered_ — each of which fails a check below.
+  collect_.resize(lps_.size());
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    const std::uint64_t s = lps_[i]->state.load(std::memory_order_seq_cst);
+    if ((s & 1u) == 0) return false;
+    collect_[i] = s;
+  }
+  const std::uint64_t d = delivered_.load(std::memory_order_seq_cst);
+  const std::uint64_t p = posted_.load(std::memory_order_seq_cst);
+  if (p != d) return false;
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    if (lps_[i]->state.load(std::memory_order_seq_cst) != collect_[i]) return false;
+  }
+  return true;
+}
+
+void Runtime::worker_loop(std::size_t worker, std::size_t begin, std::size_t end) {
+  std::uint64_t idle_passes = 0;
+  std::uint64_t last_beat = progress_beat_.load(std::memory_order_relaxed);
+  while (!done_.load(std::memory_order_acquire)) {
+    bool progressed = false;
+    for (std::size_t i = begin; i < end; ++i) progressed |= step_lp(*lps_[i]);
+    if (progressed) {
+      idle_passes = 0;
+      continue;
+    }
+    const std::uint64_t beat = progress_beat_.load(std::memory_order_relaxed);
+    if (beat != last_beat) {
+      last_beat = beat;
+      idle_passes = 0;
+    }
+    ++idle_passes;
+    if (worker == 0 && quiescent()) {
+      done_.store(true, std::memory_order_release);
+      return;
+    }
+    SCSQ_CHECK(idle_passes < kLivelockPasses)
+        << "conservative runtime livelocked: no global progress in " << kLivelockPasses
+        << " passes (undeclared LP pair or non-positive lookahead?)";
+    std::this_thread::yield();
+  }
+}
+
+void Runtime::run(unsigned workers) {
+  SCSQ_CHECK(!ran_) << "Runtime::run may only be called once";
+  ran_ = true;
+  const auto lp_n = static_cast<unsigned>(lps_.size());
+  if (workers == 0 || workers > lp_n) workers = lp_n;
+  // Seed the idle bits the detector reads before any worker publishes.
+  for (auto& lp : lps_) {
+    const std::uint64_t idle = lp->sim.next_event_time() == Simulator::kNoLimit ? 1u : 0u;
+    lp->state.store(idle, std::memory_order_relaxed);
+  }
+  if (workers <= 1) {
+    worker_loop(0, 0, lps_.size());
+  } else {
+    // One chunk per worker: the LP -> worker assignment is the stable
+    // contiguous split of parallel_chunks, identical for every run.
+    util::parallel_chunks(lps_.size(), workers, workers,
+                          [this](std::size_t c, std::size_t b, std::size_t e) {
+                            worker_loop(c, b, e);
+                          });
+  }
+  const std::uint64_t p = posted_.load(std::memory_order_seq_cst);
+  const std::uint64_t d = delivered_.load(std::memory_order_seq_cst);
+  SCSQ_CHECK(p == d) << "messages lost in flight: posted " << p << ", delivered " << d;
+  total_deliveries_ = 0;
+  for (auto& lp : lps_) total_deliveries_ += lp->deliveries;
+}
+
+const LpStats& Runtime::lp_stats(int lp) const {
+  SCSQ_CHECK(lp >= 0 && lp < lp_count()) << "bad LP index " << lp;
+  return lps_[static_cast<std::size_t>(lp)]->stats;
+}
+
+const PerfCounters& Runtime::lp_perf(int lp) const {
+  SCSQ_CHECK(lp >= 0 && lp < lp_count()) << "bad LP index " << lp;
+  return lps_[static_cast<std::size_t>(lp)]->sim.perf();
+}
+
+LpStats Runtime::total_stats() const {
+  LpStats total;
+  for (const auto& lp : lps_) {
+    total.events += lp->stats.events;
+    total.windows += lp->stats.windows;
+    total.stalls += lp->stats.stalls;
+    total.null_updates += lp->stats.null_updates;
+    total.msgs_sent += lp->stats.msgs_sent;
+    total.msgs_recvd += lp->stats.msgs_recvd;
+    total.mailbox_full += lp->stats.mailbox_full;
+  }
+  return total;
+}
+
+Time Runtime::end_time() const {
+  Time t = 0.0;
+  for (const auto& lp : lps_) t = std::max(t, lp.get()->sim.now());
+  return t;
+}
+
+}  // namespace scsq::sim::plp

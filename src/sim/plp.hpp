@@ -1,0 +1,276 @@
+// Parallel discrete-event simulation: conservative logical processes.
+//
+// The sequential kernel (simulator.hpp) runs one event loop per
+// Simulator. This layer partitions a simulated system into *logical
+// processes* (LPs), each owning a private Simulator, and advances them
+// concurrently under the classic Chandy–Misra–Bryant conservative
+// protocol:
+//
+//  * Simulated entities ("nodes") are assigned to LPs by a partitioner
+//    (for SCSQ hardware: hw::make_partition groups BlueGene compute
+//    nodes per pset — see hw/machine.hpp). Nodes interact only through
+//    timestamped messages.
+//  * Cross-LP messages travel through bounded lock-free SPSC mailboxes,
+//    one per directed LP pair, carrying (send_time, recv_time, event)
+//    tuples. Each mailbox also holds the *channel clock*: a monotone
+//    promise that no future message on this link will be delivered
+//    before it — the null-message mechanism, implemented as an atomic
+//    clock advance rather than queued null events.
+//  * Each LP repeatedly: reads its input channel clocks, drains its
+//    input mailboxes, runs every local event *strictly earlier* than
+//    the minimum input clock (its safe horizon), then republishes its
+//    own output clocks as min(next local event, safe horizon) +
+//    per-link lookahead. Lookahead comes from the simulated network's
+//    per-hop link latencies (net/*: TorusParams/TreeParams/
+//    EthernetParams::min_link_latency()), which are strictly positive —
+//    that strict positivity is what makes the protocol deadlock-free.
+//
+// Determinism contract (the whole point): results are bitwise identical
+// for every LP count and every worker-thread count. Two mechanisms
+// deliver this:
+//
+//  1. Total message order. Every message carries a partition-independent
+//     key (recv_time, origin node id, per-origin sequence number). Each
+//     destination node owns an inbox ordered by that key; a delivery
+//     event pops the inbox minimum, so same-timestamp messages are
+//     handled in key order no matter which mailbox, thread or drain
+//     batch carried them. This is the stable tie-break the sequential
+//     kernel's global FIFO seq provides within one Simulator, extended
+//     across Simulators.
+//  2. Strict horizons. An LP never executes an event at its safe
+//     horizon, only strictly before it, because a neighbor may still
+//     deliver a message *at* the horizon that must be merged by key.
+//
+// LP count is a semantic knob; worker count is a performance knob. k
+// LPs can be multiplexed cooperatively on any number of workers 1..k
+// (the sweep harness's oversubscription guard caps workers, never LPs),
+// and with one worker no thread is spawned at all. Mailbox overflow
+// never blocks a worker: excess messages park in a sender-local staging
+// heap and the link clock is clamped to the staged minimum until the
+// ring drains, preserving bounded buffers without cross-LP deadlock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace scsq::sim::plp {
+
+using NodeId = std::uint32_t;
+
+/// A timestamped event crossing LP boundaries. POD; 48 bytes.
+struct Message {
+  Time send_time = 0.0;   ///< sender's clock when the send happened
+  Time recv_time = 0.0;   ///< delivery timestamp (>= send_time + lookahead)
+  NodeId src = 0;         ///< origin node (tie-break key, partition-independent)
+  NodeId dst = 0;
+  std::uint32_t tag = 0;  ///< workload-defined event kind
+  std::uint32_t pad = 0;
+  std::uint64_t seq = 0;  ///< per-origin sequence (tie-break key)
+  double value = 0.0;     ///< workload payload
+};
+
+/// Ordering key: (recv_time, src, seq). Total (seq unique per src).
+inline bool message_after(const Message& a, const Message& b) {
+  if (a.recv_time != b.recv_time) return a.recv_time > b.recv_time;
+  if (a.src != b.src) return a.src > b.src;
+  return a.seq > b.seq;
+}
+
+/// Per-LP runtime counters, exported via obs::bridge_plp_stats as
+/// sim.lp.* metrics.
+struct LpStats {
+  std::uint64_t events = 0;        ///< events dispatched by the local kernel
+  std::uint64_t windows = 0;       ///< safe-horizon windows executed
+  std::uint64_t stalls = 0;        ///< passes with pending events blocked by the horizon
+  std::uint64_t null_updates = 0;  ///< output channel-clock advances (null messages)
+  std::uint64_t msgs_sent = 0;     ///< cross-LP messages posted
+  std::uint64_t msgs_recvd = 0;    ///< cross-LP messages drained
+  std::uint64_t mailbox_full = 0;  ///< posts that overflowed into staging
+};
+
+/// Bounded SPSC mailbox for one directed LP pair, plus the link's
+/// channel clock and lookahead. The sender LP's worker is the only
+/// producer; the receiver LP's worker the only consumer (workers never
+/// share an LP, so SPSC holds under any LP->worker multiplexing).
+class Mailbox {
+ public:
+  Mailbox(int src_lp, int dst_lp, Time lookahead, std::size_t capacity);
+
+  int src_lp() const { return src_lp_; }
+  int dst_lp() const { return dst_lp_; }
+  Time lookahead() const { return lookahead_; }
+  /// Tightens the link latency (setup only, before any traffic).
+  void set_lookahead(Time lookahead) { lookahead_ = lookahead; }
+
+  // --- sender side ---
+
+  /// Enqueues a message; parks it in the staging heap when the ring is
+  /// full (counted in `stats.mailbox_full`). Never blocks.
+  void post(const Message& m, LpStats& stats);
+
+  /// Moves staged messages into the ring as space allows. Returns true
+  /// if any message moved.
+  bool flush();
+
+  /// Publishes a channel-clock promise: no future message on this link
+  /// will be delivered before min(promise, oldest staged recv_time).
+  /// Monotone; returns true when the published clock advanced.
+  bool advance_clock(Time promise);
+
+  // --- receiver side ---
+
+  /// The channel clock (acquire). Every message with recv_time < clock()
+  /// is visible to a subsequent drain().
+  Time clock() const { return clock_.load(std::memory_order_acquire); }
+
+  /// Appends all available messages to `out`; returns how many.
+  std::size_t drain(std::vector<Message>& out);
+
+ private:
+  bool try_push(const Message& m);
+
+  int src_lp_;
+  int dst_lp_;
+  Time lookahead_;
+  std::vector<Message> ring_;  // power-of-two slots, indexes free-run
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  // Sender-local state (no concurrent access).
+  std::vector<Message> staged_;  // min-heap by recv_time (overflow)
+  Time clock_shadow_ = 0.0;      // last published clock value
+  alignas(64) std::atomic<double> clock_{0.0};
+};
+
+/// The conservative parallel runtime: nodes, LPs, mailboxes, workers.
+///
+/// Usage: add_node() simulated entities with handlers, declare
+/// set_lookahead() for every directed LP pair that will communicate,
+/// seed the simulation with post_initial(), then run(workers). Handlers
+/// receive a Context to read the clock and send further messages.
+class Runtime {
+  struct Lp;  // per-LP state, private (defined below)
+
+ public:
+  struct Options {
+    std::size_t mailbox_capacity = 1024;  ///< ring slots per directed LP pair
+  };
+
+  /// A handler's view of its node during a delivery.
+  class Context {
+   public:
+    NodeId id() const { return id_; }
+    Time now() const;
+    /// Sends a message delivered at `recv_time`. Same-LP destinations
+    /// require recv_time > now(); cross-LP destinations require
+    /// recv_time >= now() + lookahead(src LP, dst LP).
+    void send(NodeId dst, Time recv_time, std::uint32_t tag, double value);
+
+   private:
+    friend class Runtime;
+    Context(Runtime* rt, Lp* lp, NodeId id) : rt_(rt), lp_(lp), id_(id) {}
+    Runtime* rt_;
+    Lp* lp_;
+    NodeId id_;
+  };
+
+  using Handler = std::function<void(Context&, const Message&)>;
+
+  explicit Runtime(int lp_count) : Runtime(lp_count, Options{}) {}
+  Runtime(int lp_count, Options options);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int lp_count() const { return static_cast<int>(lps_.size()); }
+
+  /// Registers a simulated node owned by LP `lp`. Handlers run on the
+  /// owning LP's worker thread and must touch only node-local state.
+  NodeId add_node(int lp, Handler handler);
+
+  /// Declares the lookahead (strictly positive) for the directed LP
+  /// pair, creating its mailbox. Must cover every pair that
+  /// communicates; src_lp == dst_lp is ignored (local sends need no
+  /// mailbox).
+  void set_lookahead(int src_lp, int dst_lp, Time lookahead);
+
+  /// Convenience: set_lookahead for every ordered LP pair.
+  void set_uniform_lookahead(Time lookahead);
+
+  /// Seeds a message to `dst` at absolute time `at` (>= 0), origin =
+  /// dst itself. Only before run(); call order is part of the
+  /// deterministic input.
+  void post_initial(NodeId dst, Time at, std::uint32_t tag, double value);
+
+  /// Runs the simulation to global quiescence (no local events, no
+  /// in-flight messages anywhere). `workers` = worker threads to
+  /// multiplex LPs onto, clamped to [1, lp_count]; 0 = one per LP.
+  /// workers == 1 runs inline on the caller (no threads). Results are
+  /// identical for every worker count. May be called once.
+  void run(unsigned workers = 0);
+
+  // --- post-run inspection ---
+
+  const LpStats& lp_stats(int lp) const;
+  const PerfCounters& lp_perf(int lp) const;
+  LpStats total_stats() const;
+  /// Total messages handled (local + cross-LP): every delivery event.
+  std::uint64_t total_deliveries() const { return total_deliveries_; }
+  /// Latest local clock over all LPs (time of the last event anywhere).
+  Time end_time() const;
+
+ private:
+  struct NodeState {
+    int lp = 0;
+    std::uint64_t next_seq = 0;
+    Handler handler;
+    std::vector<Message> inbox;  // min-heap by message_after
+  };
+
+  struct Lp {
+    explicit Lp(int id_in) : id(id_in) {}
+    int id;
+    Simulator sim;
+    LpStats stats;
+    std::vector<Mailbox*> in;   // mailboxes this LP consumes
+    std::vector<Mailbox*> out;  // mailboxes this LP produces
+    std::vector<Message> drain_buf;
+    std::uint64_t deliveries = 0;  // delivery events executed
+    // (serial << 1) | idle, published (release) at the end of every step
+    // that made progress; read by the quiescence detector.
+    alignas(64) std::atomic<std::uint64_t> state{0};
+  };
+
+  Mailbox* mailbox(int src_lp, int dst_lp) const {
+    return mailboxes_[static_cast<std::size_t>(src_lp) * lps_.size() +
+                      static_cast<std::size_t>(dst_lp)]
+        .get();
+  }
+
+  void send_from(Lp& src_lp, NodeId src, NodeId dst, Time recv_time, std::uint32_t tag,
+                 double value);
+  void deliver_local(Lp& lp, const Message& m);
+  void pop_and_handle(Lp& lp, NodeState& node);
+  bool step_lp(Lp& lp);
+  void worker_loop(std::size_t worker, std::size_t begin, std::size_t end);
+  bool quiescent();
+
+  Options options_;
+  std::vector<std::unique_ptr<Lp>> lps_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // dense lp*lp grid
+  std::vector<NodeState> nodes_;
+  bool ran_ = false;
+  std::uint64_t total_deliveries_ = 0;
+  std::vector<std::uint64_t> collect_;  // quiescence-detector scratch (worker 0 only)
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> posted_{0};     // cross-LP messages entering mailboxes
+  std::atomic<std::uint64_t> delivered_{0};  // cross-LP messages drained
+  std::atomic<std::uint64_t> progress_beat_{0};  // bumped by every progress step
+};
+
+}  // namespace scsq::sim::plp

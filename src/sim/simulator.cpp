@@ -78,7 +78,8 @@ void Simulator::run_callback(std::uintptr_t payload) {
   if (fn) fn();
 }
 
-Time Simulator::run(Time until) {
+template <bool Strict>
+Time Simulator::run_loop(Time limit) {
   for (;;) {
     const std::size_t fifo_live = fifo_.size() - fifo_head_;
     const std::size_t heap_size = heap_.size();
@@ -91,7 +92,7 @@ Time Simulator::run(Time until) {
       // first only when it was scheduled earlier (smaller seq) —
       // preserving the global FIFO order within a timestamp that the old
       // single priority_queue provided.
-      if (now_ > until) break;
+      if (Strict ? now_ >= limit : now_ > limit) break;
       if (heap_size != 0 && heap_[0].at == now_ && heap_[0].seq < fifo_[fifo_head_].seq) {
         payload = heap_[0].payload;
         pop_heap_root();
@@ -104,7 +105,7 @@ Time Simulator::run(Time until) {
       }
     } else if (heap_size != 0) {
       const Time at = heap_[0].at;
-      if (at > until) break;
+      if (Strict ? at >= limit : at > limit) break;
       payload = heap_[0].payload;
       pop_heap_root();
       now_ = at;
@@ -124,6 +125,10 @@ Time Simulator::run(Time until) {
   sweep_finished_roots();
   return now_;
 }
+
+Time Simulator::run(Time until) { return run_loop<false>(until); }
+
+Time Simulator::run_before(Time horizon) { return run_loop<true>(horizon); }
 
 std::size_t Simulator::live_root_tasks() const {
   std::size_t live = 0;

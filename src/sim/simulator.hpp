@@ -122,6 +122,27 @@ class Simulator {
   /// Returns the final simulated time.
   Time run(Time until = kNoLimit);
 
+  /// Runs every event with timestamp strictly below `horizon` and stops
+  /// without dispatching anything at or beyond it. This is the window
+  /// primitive of the conservative parallel runtime (sim/plp.hpp): a
+  /// logical process may only execute events strictly earlier than the
+  /// minimum of its input channel clocks, because a neighbor is still
+  /// allowed to deliver an event *at* that clock value and same-time
+  /// events must be merged under the deterministic tie-break. Returns
+  /// the final simulated time (now() stays at the last dispatched event;
+  /// it does not jump to `horizon`).
+  Time run_before(Time horizon);
+
+  /// Timestamp of the next pending event: now() when same-time FIFO
+  /// events are queued, the heap root's timestamp otherwise, kNoLimit
+  /// when the queue is empty. Conservative LPs use this to compute the
+  /// null-message promise (earliest possible next send) for neighbors.
+  Time next_event_time() const {
+    if (fifo_.size() != fifo_head_) return now_;
+    if (!heap_.empty()) return heap_.front().at;
+    return kNoLimit;
+  }
+
   /// Number of root tasks spawned that have not yet completed. After
   /// run() returns with an empty queue, a nonzero value means deadlock
   /// (processes waiting on channels/resources that will never signal).
@@ -186,6 +207,11 @@ class Simulator {
   }
 
   void pop_heap_root();
+
+  // Shared dispatch loop: Strict=false stops once the next event is past
+  // `limit` (run), Strict=true stops at or past it (run_before).
+  template <bool Strict>
+  Time run_loop(Time limit);
 
   void run_callback(std::uintptr_t payload);
   void sweep_finished_roots();

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/logging.hpp"
+
 namespace scsq::util {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -12,18 +14,28 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (stop_ && workers_.empty()) return;  // already shut down
     stop_ = true;
   }
   cv_task_.notify_all();
+  // Drain first: workers only exit once the queue is empty (see
+  // worker_loop), so every task submitted before shutdown() runs to
+  // completion before any join. wait_idle additionally orders the joins
+  // after the *completion* of the last task, not just its dequeue.
+  wait_idle();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
   {
     std::lock_guard lock(mu_);
+    SCSQ_CHECK(!stop_) << "ThreadPool::submit after shutdown";
     queue_.push_back(std::move(fn));
     ++in_flight_;
   }

@@ -1,0 +1,379 @@
+// Conservative parallel runtime (sim/plp.hpp): mailbox semantics, the
+// deterministic (recv_time, src, seq) tie-break, quiescence on cyclic
+// topologies, backpressure via staging, the hardware partitioner, the
+// fig15-shaped workload's LP/worker invariance matrix, and the engine's
+// SCSQ_SIM_LPS affinity plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scsq.hpp"
+#include "hw/lp_workload.hpp"
+#include "hw/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sim_bridge.hpp"
+#include "sim/plp.hpp"
+
+namespace scsq::sim::plp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Mailbox
+// ---------------------------------------------------------------------
+
+Message msg(double recv, NodeId src, std::uint64_t seq, double value = 0.0) {
+  Message m;
+  m.send_time = 0.0;
+  m.recv_time = recv;
+  m.src = src;
+  m.dst = 0;
+  m.seq = seq;
+  m.value = value;
+  return m;
+}
+
+TEST(Mailbox, DrainReturnsPostedMessages) {
+  Mailbox mb(0, 1, 1e-6, 8);
+  LpStats stats;
+  mb.post(msg(1.0, 1, 0), stats);
+  mb.post(msg(2.0, 1, 1), stats);
+  std::vector<Message> out;
+  EXPECT_EQ(mb.drain(out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].recv_time, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].recv_time, 2.0);
+  EXPECT_EQ(stats.mailbox_full, 0u);
+  out.clear();
+  EXPECT_EQ(mb.drain(out), 0u);
+}
+
+TEST(Mailbox, OverflowParksInStagingAndFlushes) {
+  Mailbox mb(0, 1, 1e-6, 2);  // ring holds 2
+  LpStats stats;
+  mb.post(msg(1.0, 1, 0), stats);
+  mb.post(msg(2.0, 1, 1), stats);
+  mb.post(msg(3.0, 1, 2), stats);  // overflows into staging
+  mb.post(msg(4.0, 1, 3), stats);
+  EXPECT_EQ(stats.mailbox_full, 2u);
+  // The clock promise may not overtake the oldest staged message.
+  EXPECT_TRUE(mb.advance_clock(10.0));
+  EXPECT_DOUBLE_EQ(mb.clock(), 3.0);
+  std::vector<Message> out;
+  EXPECT_EQ(mb.drain(out), 2u);
+  EXPECT_TRUE(mb.flush());
+  EXPECT_EQ(mb.drain(out), 2u);
+  ASSERT_EQ(out.size(), 4u);
+  // Once staging is empty the promise is free to advance fully.
+  EXPECT_TRUE(mb.advance_clock(10.0));
+  EXPECT_DOUBLE_EQ(mb.clock(), 10.0);
+}
+
+TEST(Mailbox, ClockIsMonotone) {
+  Mailbox mb(0, 1, 1e-6, 4);
+  EXPECT_TRUE(mb.advance_clock(5.0));
+  EXPECT_FALSE(mb.advance_clock(4.0));  // never retreats
+  EXPECT_FALSE(mb.advance_clock(5.0));  // no-op republish
+  EXPECT_DOUBLE_EQ(mb.clock(), 5.0);
+  EXPECT_TRUE(mb.advance_clock(6.0));
+  EXPECT_DOUBLE_EQ(mb.clock(), 6.0);
+}
+
+// ---------------------------------------------------------------------
+// Runtime basics
+// ---------------------------------------------------------------------
+
+TEST(PlpRuntime, TwoLpPingPongTerminates) {
+  for (unsigned workers : {1u, 2u}) {
+    Runtime rt(2);
+    rt.set_uniform_lookahead(1e-6);
+    std::vector<double> times;
+    NodeId a = 0, b = 0;
+    int remaining = 10;
+    a = rt.add_node(0, [&](Runtime::Context& ctx, const Message& m) {
+      times.push_back(ctx.now());
+      if (remaining-- > 0) ctx.send(b, ctx.now() + 1e-6, 0, m.value + 1);
+    });
+    b = rt.add_node(1, [&](Runtime::Context& ctx, const Message& m) {
+      ctx.send(a, ctx.now() + 1e-6, 0, m.value + 1);
+    });
+    rt.post_initial(a, 0.0, 0, 0.0);
+    rt.run(workers);
+    // a handles the initial stimulus plus 10 returns from b; each hop
+    // advances the clock by one lookahead.
+    ASSERT_EQ(times.size(), 11u) << "workers " << workers;
+    EXPECT_DOUBLE_EQ(times.front(), 0.0);
+    EXPECT_DOUBLE_EQ(times.back(), 20e-6);
+    const auto totals = rt.total_stats();
+    EXPECT_EQ(totals.msgs_sent, 20u);  // 10 each way, all cross-LP
+    EXPECT_EQ(totals.msgs_recvd, 20u);
+    EXPECT_GT(totals.null_updates, 0u);
+  }
+}
+
+TEST(PlpRuntime, SameLpSendNeedsNoMailbox) {
+  Runtime rt(1);
+  int hits = 0;
+  NodeId a = 0, b = 0;
+  a = rt.add_node(0, [&](Runtime::Context& ctx, const Message&) {
+    ++hits;
+    ctx.send(b, ctx.now() + 1e-9, 0, 0.0);
+  });
+  b = rt.add_node(0, [&](Runtime::Context&, const Message&) { ++hits; });
+  rt.post_initial(a, 1.0, 0, 0.0);
+  rt.run(1);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(rt.total_stats().msgs_sent, 0u);  // nothing crossed an LP
+  EXPECT_EQ(rt.total_deliveries(), 2u);
+}
+
+// Same-timestamp messages from different LPs must be handled in
+// (src, seq) order regardless of which mailbox delivered first.
+TEST(PlpRuntime, SameTimestampCrossLpFifoBySourceKey) {
+  for (unsigned workers : {1u, 3u}) {
+    Runtime rt(3);
+    rt.set_uniform_lookahead(1e-6);
+    std::vector<std::pair<NodeId, double>> order;
+    const NodeId sink = rt.add_node(0, [&](Runtime::Context&, const Message& m) {
+      order.emplace_back(m.src, m.value);
+    });
+    // Two senders on distinct LPs, each emitting two messages that all
+    // land at exactly t = 1.0 at the sink.
+    auto make_sender = [&](int lp) {
+      return rt.add_node(lp, [&, sink](Runtime::Context& ctx, const Message& m) {
+        ctx.send(sink, 1.0, 0, m.value);
+        ctx.send(sink, 1.0, 0, m.value + 1);
+      });
+    };
+    const NodeId s1 = make_sender(1);
+    const NodeId s2 = make_sender(2);
+    // Fire s2 earlier in real delivery order than s1: arrival order at
+    // the sink's mailboxes differs from the key order.
+    rt.post_initial(s2, 0.25, 0, 10.0);
+    rt.post_initial(s1, 0.5, 0, 20.0);
+    rt.run(workers);
+    ASSERT_EQ(order.size(), 4u);
+    // Key order: src ascending, then per-source seq (emission) order.
+    EXPECT_EQ(order[0].first, s1);
+    EXPECT_DOUBLE_EQ(order[0].second, 20.0);
+    EXPECT_EQ(order[1].first, s1);
+    EXPECT_DOUBLE_EQ(order[1].second, 21.0);
+    EXPECT_EQ(order[2].first, s2);
+    EXPECT_DOUBLE_EQ(order[2].second, 10.0);
+    EXPECT_EQ(order[3].first, s2);
+    EXPECT_DOUBLE_EQ(order[3].second, 11.0);
+  }
+}
+
+// A cycle of LPs with finite traffic must reach global quiescence (the
+// null-message clocks, not event exhaustion alone, unblock the loop).
+TEST(PlpRuntime, CyclicTopologyQuiesces) {
+  constexpr int kLps = 4;
+  for (unsigned workers : {1u, 4u}) {
+    Runtime rt(kLps);
+    rt.set_uniform_lookahead(1e-6);
+    std::vector<NodeId> ring(kLps);
+    int hops = 0;
+    for (int i = 0; i < kLps; ++i) {
+      ring[static_cast<std::size_t>(i)] =
+          rt.add_node(i, [&, i](Runtime::Context& ctx, const Message& m) {
+            ++hops;
+            if (m.value > 0.0) {
+              ctx.send(ring[static_cast<std::size_t>((i + 1) % kLps)], ctx.now() + 2e-6, 0,
+                       m.value - 1);
+            }
+          });
+    }
+    rt.post_initial(ring[0], 0.0, 0, 25.0);
+    rt.run(workers);
+    EXPECT_EQ(hops, 26) << "workers " << workers;
+    hops = 0;
+  }
+}
+
+// Capacity-1 mailboxes force constant overflow into staging; results
+// must be unchanged and the pressure must be visible in the stats.
+TEST(PlpRuntime, TinyMailboxBackpressureIsLossless) {
+  Runtime::Options options;
+  options.mailbox_capacity = 2;  // ring rounds to the minimum
+  Runtime rt(2, options);
+  rt.set_uniform_lookahead(1e-6);
+  int received = 0;
+  const NodeId sink = rt.add_node(1, [&](Runtime::Context&, const Message&) { ++received; });
+  const NodeId src = rt.add_node(0, [&, sink](Runtime::Context& ctx, const Message& m) {
+    // Fan out a burst: far more same-window sends than ring slots.
+    for (int i = 0; i < 64; ++i) {
+      ctx.send(sink, ctx.now() + 1e-6 + 1e-9 * i, 0, m.value);
+    }
+  });
+  rt.post_initial(src, 0.0, 0, 0.0);
+  rt.run(2);
+  EXPECT_EQ(received, 64);
+  const auto totals = rt.total_stats();
+  EXPECT_EQ(totals.msgs_sent, 64u);
+  EXPECT_EQ(totals.msgs_recvd, 64u);
+  EXPECT_GT(totals.mailbox_full, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------
+
+TEST(Partition, PsetsStayWholeAndIoFollows) {
+  const auto cost = hw::CostModel::lofar();
+  const auto part = hw::make_partition(cost, 4);
+  EXPECT_EQ(part.lp_count, 4);
+  for (int rank = 0; rank < cost.compute_node_count(); ++rank) {
+    const int pset = cost.pset_of(rank);
+    EXPECT_EQ(part.bg_compute_lp[static_cast<std::size_t>(rank)],
+              part.bg_io_lp[static_cast<std::size_t>(pset)])
+        << "rank " << rank;
+  }
+  // Contiguous, onto: every LP owns at least one pset when lps == psets.
+  std::vector<int> seen;
+  for (int lp : part.bg_io_lp) seen.push_back(lp);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Partition, ClampsToPsetCountAndFloorsAtOne) {
+  const auto cost = hw::CostModel::lofar();  // 4 psets
+  EXPECT_EQ(hw::make_partition(cost, 64).lp_count, 4);
+  EXPECT_EQ(hw::make_partition(cost, 0).lp_count, 1);
+  EXPECT_EQ(hw::make_partition(cost, -3).lp_count, 1);
+  const auto one = hw::make_partition(cost, 1);
+  for (int lp : one.bg_compute_lp) EXPECT_EQ(lp, 0);
+  for (int lp : one.be_lp) EXPECT_EQ(lp, 0);
+  for (int lp : one.fe_lp) EXPECT_EQ(lp, 0);
+}
+
+TEST(Partition, LookaheadsAreStrictlyPositive) {
+  const auto cost = hw::CostModel::lofar();
+  const auto part = hw::make_partition(cost, 2);
+  EXPECT_GT(part.torus_lookahead_s, 0.0);
+  EXPECT_GT(part.ethernet_lookahead_s, 0.0);
+  EXPECT_GT(part.tree_lookahead_s, 0.0);
+  EXPECT_GT(part.min_lookahead_s(), 0.0);
+  EXPECT_DOUBLE_EQ(part.torus_lookahead_s, cost.torus.min_link_latency());
+  EXPECT_DOUBLE_EQ(part.ethernet_lookahead_s, cost.ethernet.min_link_latency());
+}
+
+TEST(Partition, LpOfCoversEveryLocation) {
+  const auto cost = hw::CostModel::lofar();
+  const auto part = hw::make_partition(cost, 4);
+  for (int rank = 0; rank < cost.compute_node_count(); ++rank) {
+    const int lp = part.lp_of(hw::Location{hw::kBlueGene, rank});
+    EXPECT_GE(lp, 0);
+    EXPECT_LT(lp, part.lp_count);
+  }
+  for (int n = 0; n < cost.backend_nodes; ++n) {
+    EXPECT_EQ(part.lp_of(hw::Location{hw::kBackEnd, n}),
+              part.be_lp[static_cast<std::size_t>(n)]);
+  }
+  for (int n = 0; n < cost.frontend_nodes; ++n) {
+    EXPECT_EQ(part.lp_of(hw::Location{hw::kFrontEnd, n}),
+              part.fe_lp[static_cast<std::size_t>(n)]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Workload invariance: the tentpole determinism contract
+// ---------------------------------------------------------------------
+
+TEST(LpWorkload, InvariantAcrossLpAndWorkerCounts) {
+  const auto cost = hw::CostModel::lofar();
+  hw::LpWorkloadOptions options;
+  options.messages_per_backend = 48;
+  const auto reference = hw::run_lp_workload(cost, 1, 1, options);
+  EXPECT_GT(reference.checksum, 0u);
+  EXPECT_EQ(reference.merged,
+            static_cast<std::uint64_t>(cost.backend_nodes) *
+                static_cast<std::uint64_t>(options.messages_per_backend));
+  EXPECT_GT(reference.end_time_s, 0.0);
+  for (int lps : {1, 2, 4, 8}) {
+    // Workers forced above 1 wherever the LP count allows it, so the
+    // multi-threaded path runs even on a single-core host (the OS still
+    // interleaves; determinism may not depend on the schedule).
+    for (unsigned workers : {1u, 2u, 0u}) {
+      const auto r = hw::run_lp_workload(cost, lps, workers, options);
+      EXPECT_EQ(r.checksum, reference.checksum) << "lps " << lps << " workers " << workers;
+      EXPECT_EQ(r.merged, reference.merged) << "lps " << lps << " workers " << workers;
+      EXPECT_EQ(r.events, reference.events) << "lps " << lps << " workers " << workers;
+      EXPECT_DOUBLE_EQ(r.end_time_s, reference.end_time_s)
+          << "lps " << lps << " workers " << workers;
+    }
+  }
+  // lps = 8 clamps to the 4 psets of the LOFAR machine.
+  EXPECT_EQ(hw::run_lp_workload(cost, 8, 1, options).lp_count, 4);
+}
+
+TEST(LpWorkload, StatsAccountForEveryMessage) {
+  const auto cost = hw::CostModel::lofar();
+  hw::LpWorkloadOptions options;
+  options.messages_per_backend = 16;
+  const auto r = hw::run_lp_workload(cost, 4, 2, options);
+  EXPECT_EQ(r.totals.msgs_sent, r.totals.msgs_recvd);
+  EXPECT_GT(r.totals.windows, 0u);
+  EXPECT_GT(r.totals.null_updates, 0u);
+  EXPECT_EQ(r.per_lp.size(), 4u);
+  std::uint64_t events = 0;
+  for (const auto& s : r.per_lp) events += s.events;
+  EXPECT_EQ(events, r.events);
+}
+
+// ---------------------------------------------------------------------
+// Obs bridge
+// ---------------------------------------------------------------------
+
+TEST(PlpBridge, PublishesPerLpAndTotalSeries) {
+  const auto r = hw::run_lp_workload(hw::CostModel::lofar(), 2, 1, {});
+  obs::Registry registry;
+  obs::bridge_plp_stats(registry, r.per_lp);
+  std::ostringstream os;
+  registry.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("sim.lp.events"), std::string::npos);
+  EXPECT_NE(json.find("sim.lp.total.msgs_sent"), std::string::npos);
+  EXPECT_NE(json.find("sim.lp.count"), std::string::npos);
+  // Idempotent: re-bridging does not double-count.
+  obs::bridge_plp_stats(registry, r.per_lp);
+  std::ostringstream os2;
+  registry.write_json(os2);
+  EXPECT_EQ(json, os2.str());
+}
+
+// ---------------------------------------------------------------------
+// Engine affinity (SCSQ_SIM_LPS)
+// ---------------------------------------------------------------------
+
+TEST(EngineSimLps, ReportsAreIdenticalAcrossLpCounts) {
+  const char* query =
+      "select extract(b) from sp a, sp b "
+      "where b=sp(streamof(count(extract(a))),'bg',0) "
+      "and a=sp(gen_array(50000,6),'bg',1);";
+  ScsqConfig base;
+  base.exec.sim_lps = 1;
+  Scsq seq(base);
+  const auto r1 = seq.run(query);
+  for (int lps : {2, 4}) {
+    ScsqConfig cfg;
+    cfg.exec.sim_lps = lps;
+    Scsq scsq(cfg);
+    const auto r = scsq.run(query);
+    ASSERT_EQ(r.results.size(), r1.results.size()) << "lps " << lps;
+    EXPECT_DOUBLE_EQ(r.elapsed_s, r1.elapsed_s) << "lps " << lps;
+    EXPECT_EQ(r.stream_bytes, r1.stream_bytes) << "lps " << lps;
+    // Affinity is stamped from the partition of the requested size.
+    ASSERT_EQ(r.rps.size(), r1.rps.size());
+    for (const auto& rp : r.rps) {
+      EXPECT_GE(rp.lp, 0);
+      EXPECT_LT(rp.lp, lps);
+    }
+    // At 1 LP every RP collapses to LP 0.
+    for (const auto& rp : r1.rps) EXPECT_EQ(rp.lp, 0);
+  }
+}
+
+}  // namespace
+}  // namespace scsq::sim::plp

@@ -118,6 +118,38 @@ grep -Eq 'total +.* 100\.0%' "$TMPD/explain_out.txt" || { echo "attribution does
 echo "== bench_kernels marshal/frame smoke =="
 "$BUILD/bench/bench_kernels" --benchmark_filter='BM_(MarshalRoundTrip|FrameCutterCut|FramePoolRecycle|OperatorPipeline)' > /dev/null
 
+# Parallel-LP invariance: the fig6 quick tables must be byte-identical
+# for every SCSQ_SIM_LPS (the LP count is a semantic knob whose only
+# observable effect is the engine.rp.lp / engine.sim_lps gauges on the
+# metrics side channel — never stdout). Only the [harness] stderr banner
+# carries wall clock, and it is not captured here.
+echo "== bench_fig6_p2p SCSQ_SIM_LPS invariance =="
+SCSQ_SIM_LPS=1 "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_lps1.txt"
+SCSQ_SIM_LPS=4 "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_lps4.txt"
+cmp "$TMPD/fig6_lps1.txt" "$TMPD/fig6_lps4.txt" || {
+  echo "SCSQ_SIM_LPS changed bench output"; exit 1; }
+echo "   fig6 tables byte-identical at SCSQ_SIM_LPS=1 vs 4"
+
+# Conservative-LP runtime smoke: the benchmark aborts on any LP-count
+# determinism violation (checksum vs the sequential run), so one fast
+# shot doubles as a correctness gate.
+"$BUILD/bench/bench_kernels" \
+  --benchmark_filter='BM_ParallelSim' --benchmark_min_time=0.01 > /dev/null
+
+# TSAN pass over the parallel LP runtime: mailbox SPSC rings, channel
+# clocks and the quiescence detector are hand-rolled atomics — run the
+# full plp test suite (which includes 4-LP multi-worker runs) under
+# ThreadSanitizer. Skipped when the toolchain cannot link a trivial
+# -fsanitize=thread program.
+if echo 'int main(){}' | c++ -x c++ -fsanitize=thread -o /dev/null - 2> /dev/null; then
+  echo "== plp_test under ThreadSanitizer =="
+  cmake -B "$BUILD-tsan" -S . -DSCSQ_TSAN=ON > /dev/null
+  cmake --build "$BUILD-tsan" -j"$(nproc)" --target plp_test > /dev/null
+  "$BUILD-tsan/tests/plp_test"
+else
+  echo "== skipping TSAN pass (toolchain lacks ThreadSanitizer) =="
+fi
+
 # ASAN pass over the transport tests: the pooled frame/marshal data
 # plane recycles buffers aggressively, so guard against use-after-
 # recycle and buffer overruns. Skipped when the toolchain cannot link

@@ -5,10 +5,19 @@
 //
 //   metrics_diff [--threshold=0.2] --check BASELINE.json
 //     Self-check of a committed baseline (BENCH_kernels.json style):
-//     every object containing numeric "seed" and "new" members is a
-//     tracked measurement; fail (exit 1) when new < seed*(1-threshold).
-//     Also validates that the file parses as strict JSON. Objects with
-//     "seed": null (no pre-optimization measurement) are skipped.
+//     every object containing a numeric "new" member is a tracked
+//     measurement; fail (exit 1) when new < seed*(1-threshold).
+//     Also validates that the file parses as strict JSON. Three seed
+//     states are distinguished:
+//       * numeric "seed"  — compared against "new" (regression gate);
+//       * "seed": null    — intentionally unbaselined (e.g. the metric
+//                           did not exist before the change); skipped
+//                           silently;
+//       * no "seed" key   — a measurement whose baseline was forgotten:
+//                           reported as MISSING-BASELINE and, when no
+//                           real regression also fired, exits 3 so CI
+//                           can tell "record a seed" apart from "value
+//                           regressed".
 //
 //   metrics_diff [--threshold=0.2] [--filter=SUB] [--top=N] OLD.json NEW.json
 //     Structural diff: every numeric leaf is flattened to a dotted path
@@ -34,7 +43,8 @@
 //     = 20 percentage points) — gating attribution regressions such as
 //     packetization waste creeping up.
 //
-// Exit codes: 0 ok, 1 regression/violation found, 2 usage/parse error.
+// Exit codes: 0 ok, 1 regression/violation found, 2 usage/parse error,
+// 3 (--check only) measurement lacking a "seed" key with no regression.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -93,48 +103,65 @@ Value parse_file(const std::string& path) {
   }
 }
 
-/// Recursively checks "seed"/"new" measurement objects; returns the
-/// number of regressions found and counts the measurements inspected.
-int check_baseline(const Value& v, const std::string& path, double threshold,
-                   int* inspected) {
-  int regressions = 0;
+/// Tallies from a --check walk over a baseline document.
+struct CheckTally {
+  int regressions = 0;  ///< numeric seed, new below the floor
+  int inspected = 0;    ///< numeric seed, compared
+  int skipped = 0;      ///< "seed": null — intentionally unbaselined
+  int missing = 0;      ///< numeric "new" with no "seed" key at all
+};
+
+/// Recursively checks measurement objects (any object with a numeric
+/// "new" member). A numeric "seed" gates a regression; an explicit
+/// "seed": null opts the entry out; an *absent* seed key is a forgotten
+/// baseline and is reported separately so CI can distinguish "record a
+/// seed for this new benchmark" from "this value regressed".
+void check_baseline(const Value& v, const std::string& path, double threshold,
+                    CheckTally* tally) {
   if (v.is_object()) {
     const Value* seed = v.find("seed");
     const Value* fresh = v.find("new");
-    if (seed != nullptr && fresh != nullptr && fresh->is_number()) {
-      if (seed->is_number()) {
-        ++*inspected;
+    if (fresh != nullptr && fresh->is_number()) {
+      if (seed == nullptr) {
+        std::printf("MISSING-BASELINE %s: new=%g has no \"seed\" key (record one or mark "
+                    "\"seed\": null)\n",
+                    path.c_str(), fresh->as_number());
+        ++tally->missing;
+      } else if (seed->is_number()) {
+        ++tally->inspected;
         const double floor = seed->as_number() * (1.0 - threshold);
         if (fresh->as_number() < floor) {
           std::printf("REGRESSION %s: new=%g < seed=%g - %.0f%% (floor %g)\n",
                       path.c_str(), fresh->as_number(), seed->as_number(),
                       threshold * 100.0, floor);
-          ++regressions;
+          ++tally->regressions;
         }
+      } else {
+        ++tally->skipped;  // "seed": null (or non-numeric): intentional
       }
-      return regressions;  // a measurement leaf; don't recurse further
+      return;  // a measurement leaf; don't recurse further
     }
     for (const auto& [key, member] : v.as_object()) {
-      regressions +=
-          check_baseline(member, path.empty() ? key : path + "." + key, threshold, inspected);
+      check_baseline(member, path.empty() ? key : path + "." + key, threshold, tally);
     }
   } else if (v.is_array()) {
     const auto& items = v.as_array();
     for (std::size_t i = 0; i < items.size(); ++i) {
-      regressions += check_baseline(items[i], path + "[" + std::to_string(i) + "]",
-                                    threshold, inspected);
+      check_baseline(items[i], path + "[" + std::to_string(i) + "]", threshold, tally);
     }
   }
-  return regressions;
 }
 
 int run_check(const std::string& path, double threshold) {
   const Value doc = parse_file(path);
-  int inspected = 0;
-  const int regressions = check_baseline(doc, "", threshold, &inspected);
-  std::printf("%s: %d measurement(s) checked, %d regression(s) (threshold %.0f%%)\n",
-              path.c_str(), inspected, regressions, threshold * 100.0);
-  return regressions > 0 ? 1 : 0;
+  CheckTally tally;
+  check_baseline(doc, "", threshold, &tally);
+  std::printf("%s: %d measurement(s) checked, %d regression(s), %d unbaselined, "
+              "%d missing baseline(s) (threshold %.0f%%)\n",
+              path.c_str(), tally.inspected, tally.regressions, tally.skipped,
+              tally.missing, threshold * 100.0);
+  if (tally.regressions > 0) return 1;
+  return tally.missing > 0 ? 3 : 0;
 }
 
 int run_diff(const std::string& old_path, const std::string& new_path, double threshold,
@@ -290,7 +317,17 @@ int run_profile_diff(const std::string& old_path, const std::string& new_path,
     const auto new_shares = shares_of(*new_profiles[i]);
     for (const auto& [cause, new_share] : new_shares) {
       const auto it = old_shares.find(cause);
-      const double old_share = it != old_shares.end() ? it->second : 0.0;
+      if (it == old_shares.end()) {
+        // A cause the old profile never attributed at all — a new cost
+        // category (e.g. a subsystem added by the change), not a share
+        // regression of an existing one. Informational only.
+        if (new_share > 0.01) {
+          std::printf("NEW-CAUSE  profile[%zu] %s: share %.1f%% (absent in old)\n", i,
+                      cause.c_str(), new_share * 100.0);
+        }
+        continue;
+      }
+      const double old_share = it->second;
       const double delta = new_share - old_share;
       if (delta > threshold) {
         std::printf("REGRESSION profile[%zu] %s: share %.1f%% -> %.1f%% (+%.1f points)\n",
@@ -329,7 +366,10 @@ void print_usage(std::FILE* to) {
                "  0  no regressions / invariants hold\n"
                "  1  regression or attribution violation found\n"
                "  2  usage error, unreadable file, invalid JSON, or no\n"
-               "     measurements/profiles found where some were required\n");
+               "     measurements/profiles found where some were required\n"
+               "  3  --check: a measurement has no \"seed\" key (forgotten\n"
+               "     baseline; record one or mark it \"seed\": null). Only\n"
+               "     when no exit-1 regression also fired.\n");
 }
 
 [[noreturn]] void usage() {
