@@ -122,6 +122,12 @@ double run_query_mbps(const std::string& query, std::uint64_t payload_bytes,
     if (capture->want_profile) {
       capture->profile_json = scsq.engine().profile(report).json();
     }
+    if (capture->want_timeseries) {
+      // Empty unless SCSQ_SAMPLE_INTERVAL armed the sampler for the run.
+      std::ostringstream ts;
+      scsq.engine().sampler().write_jsonl(ts);
+      capture->timeseries_jsonl = ts.str();
+    }
   }
   SCSQ_CHECK(report.elapsed_s > 0.0) << "empty run";
   return static_cast<double>(payload_bytes) * 8.0 / report.elapsed_s / 1e6;
@@ -183,18 +189,24 @@ void harness_end(std::size_t points) {
 
 namespace {
 
-// First run_points of the process truncates SCSQ_METRICS_OUT; later
-// sweeps (a bench with several tables) append to the same file.
+// One opener for every JSONL side channel: the first open of the
+// process truncates, later opens (a bench with several tables) append,
+// and an unopenable path warns once to stderr and drops the write —
+// side channels must never fail a bench. `truncated` is the caller's
+// per-channel static flag so each channel tracks its own first open.
+std::ofstream open_side_channel(const char* path, const char* env_name, bool& truncated) {
+  std::ofstream out(path, truncated ? std::ios::app : std::ios::trunc);
+  truncated = true;
+  if (!out) std::fprintf(stderr, "[harness] cannot open %s=%s\n", env_name, path);
+  return out;
+}
+
 void write_metrics_jsonl(const char* path, const std::vector<QueryPoint>& points,
                          const std::vector<util::Stats>& stats,
                          const std::vector<RunCapture>& captures) {
   static bool truncated = false;
-  std::ofstream out(path, truncated ? std::ios::app : std::ios::trunc);
-  truncated = true;
-  if (!out) {
-    std::fprintf(stderr, "[harness] cannot open SCSQ_METRICS_OUT=%s\n", path);
-    return;
-  }
+  std::ofstream out = open_side_channel(path, "SCSQ_METRICS_OUT", truncated);
+  if (!out) return;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     std::string q;
@@ -211,17 +223,11 @@ void write_metrics_jsonl(const char* path, const std::vector<QueryPoint>& points
   }
 }
 
-// Same truncate-then-append discipline as SCSQ_METRICS_OUT, tracked
-// separately so either side channel can be used alone.
 void write_profile_jsonl(const char* path, const std::vector<QueryPoint>& points,
                          const std::vector<RunCapture>& captures) {
   static bool truncated = false;
-  std::ofstream out(path, truncated ? std::ios::app : std::ios::trunc);
-  truncated = true;
-  if (!out) {
-    std::fprintf(stderr, "[harness] cannot open SCSQ_PROFILE_OUT=%s\n", path);
-    return;
-  }
+  std::ofstream out = open_side_channel(path, "SCSQ_PROFILE_OUT", truncated);
+  if (!out) return;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     std::string q;
@@ -234,13 +240,30 @@ void write_profile_jsonl(const char* path, const std::vector<QueryPoint>& points
   }
 }
 
+// Each sampler line already starts with `{"window":...`; splice the
+// sweep point in front so one file carries every point's time series.
+void write_timeseries_jsonl(const char* path, const std::vector<RunCapture>& captures) {
+  static bool truncated = false;
+  std::ofstream out = open_side_channel(path, "SCSQ_TIMESERIES_OUT", truncated);
+  if (!out) return;
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    std::istringstream lines(captures[i].timeseries_jsonl);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      out << "{\"point\":" << i << ',' << line.substr(1) << '\n';
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
   const char* metrics_path = std::getenv("SCSQ_METRICS_OUT");
   const char* trace_path = std::getenv("SCSQ_TRACE_OUT");
   const char* profile_path = std::getenv("SCSQ_PROFILE_OUT");
-  if (!metrics_path && !trace_path && !profile_path) {
+  const char* timeseries_path = std::getenv("SCSQ_TIMESERIES_OUT");
+  if (!metrics_path && !trace_path && !profile_path && !timeseries_path) {
     return sweep(points, [](const QueryPoint& p) {
       return repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
                                p.send_buffers, p.seed);
@@ -256,6 +279,7 @@ std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
     PointOut out;
     out.capture.want_trace = trace_path != nullptr && &p == first;
     out.capture.want_profile = profile_path != nullptr;
+    out.capture.want_timeseries = timeseries_path != nullptr;
     out.stats = repeat_query_mbps(p.query, p.payload_bytes, p.cost, p.buffer_bytes,
                                   p.send_buffers, p.seed, &out.capture);
     return out;
@@ -271,13 +295,12 @@ std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points) {
   }
   if (metrics_path) write_metrics_jsonl(metrics_path, points, stats, captures);
   if (profile_path) write_profile_jsonl(profile_path, points, captures);
+  if (timeseries_path) write_timeseries_jsonl(timeseries_path, captures);
   if (trace_path && !captures.empty() && !captures.front().trace_json.empty()) {
-    std::ofstream out(trace_path, std::ios::trunc);
-    if (out) {
-      out << captures.front().trace_json;
-    } else {
-      std::fprintf(stderr, "[harness] cannot open SCSQ_TRACE_OUT=%s\n", trace_path);
-    }
+    // A trace is one whole JSON document, not JSONL: truncate each time.
+    bool trunc_now = false;
+    std::ofstream out = open_side_channel(trace_path, "SCSQ_TRACE_OUT", trunc_now);
+    if (out) out << captures.front().trace_json;
   }
   return stats;
 }

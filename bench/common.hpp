@@ -72,11 +72,15 @@ hw::CostModel jittered(hw::CostModel cost, std::uint64_t seed);
 /// Capturing happens after sim.run() returns, so timing results and the
 /// stdout tables are unaffected.
 struct RunCapture {
-  bool want_trace = false;    ///< record a Chrome/Perfetto trace of the run
-  bool want_profile = false;  ///< capture an EXPLAIN ANALYZE profile JSON
-  std::string metrics_json;   ///< registry snapshot (obs JSON export)
-  std::string trace_json;     ///< Chrome tracing JSON (when want_trace)
-  std::string profile_json;   ///< obs::Profile JSON (when want_profile)
+  bool want_trace = false;       ///< record a Chrome/Perfetto trace of the run
+  bool want_profile = false;     ///< capture an EXPLAIN ANALYZE profile JSON
+  bool want_timeseries = false;  ///< capture the telemetry sampler's windows
+  std::string metrics_json;      ///< registry snapshot (obs JSON export)
+  std::string trace_json;        ///< Chrome tracing JSON (when want_trace)
+  std::string profile_json;      ///< obs::Profile JSON (when want_profile)
+  /// Sampler JSONL, one line per window (empty unless
+  /// SCSQ_SAMPLE_INTERVAL armed the sampler for the run).
+  std::string timeseries_jsonl;
 };
 
 /// Runs one query on a fresh simulated machine; returns Mbit/s of
@@ -150,6 +154,11 @@ auto sweep(const std::vector<Point>& points, Fn fn)
 ///    point — the point's parameters plus the EXPLAIN ANALYZE profile
 ///    (dataflow nodes/edges, critical path, attribution) of the point's
 ///    last repetition. First run_points call truncates the file.
+///  * SCSQ_TIMESERIES_OUT=<path>: appends the telemetry sampler's
+///    windowed time series (obs/sampler.hpp) of each point's last
+///    repetition, one JSONL line per window tagged with its point.
+///    Requires SCSQ_SAMPLE_INTERVAL to arm the sampler; analyzed by
+///    `metrics_diff --timeseries`. First run_points call truncates.
 std::vector<util::Stats> run_points(const std::vector<QueryPoint>& points);
 
 // --- Query builders (the paper's SCSQL, parameterized) ---

@@ -47,13 +47,29 @@ int resolve_sim_lps(int configured) {
   return 1;
 }
 
+/// sample_interval_s < 0 means "resolve from the environment":
+/// SCSQ_SAMPLE_INTERVAL if set to a positive number of simulated
+/// seconds, otherwise 0 (sampling off). Same write-back convention as
+/// resolve_batch_size.
+double resolve_sample_interval(double configured) {
+  if (configured >= 0.0) return configured;
+  if (const char* env = std::getenv("SCSQ_SAMPLE_INTERVAL")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v > 0.0) return v;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 Engine::Engine(hw::Machine& machine, ExecOptions options)
     : machine_(&machine), options_(std::move(options)) {
   options_.batch_size = resolve_batch_size(options_.batch_size);
   options_.sim_lps = resolve_sim_lps(options_.sim_lps);
+  options_.sample_interval_s = resolve_sample_interval(options_.sample_interval_s);
   partition_ = machine_->partition(options_.sim_lps);
+  set_sample_interval(options_.sample_interval_s);
   auto& sim = machine_->sim();
   fe_cc_ = std::make_unique<ClusterCoordinator>(sim, hw::kFrontEnd,
                                                 machine_->cndb(hw::kFrontEnd),
@@ -74,6 +90,16 @@ Engine::Engine(hw::Machine& machine, ExecOptions options)
 }
 
 Engine::~Engine() = default;
+
+void Engine::set_sample_interval(double interval_s) {
+  options_.sample_interval_s = interval_s > 0.0 ? interval_s : 0.0;
+  sampler_ = std::make_unique<obs::Sampler>(
+      machine_->sim(), machine_->metrics(),
+      obs::Sampler::Options{options_.sample_interval_s});
+  // Pull-model metrics (network utilization, kernel perf, frame pool)
+  // must be fresh in the registry at every window boundary.
+  sampler_->add_publisher([this] { machine_->publish_metrics(); });
+}
 
 ClusterCoordinator& Engine::coordinator(const std::string& cluster) {
   if (cluster == hw::kFrontEnd) return *fe_cc_;
@@ -139,6 +165,10 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
 
   auto& sim = machine_->sim();
   const double t0 = sim.now();
+  // Arm the telemetry sampler before the first event. Ticks are
+  // zero-duration read-only callbacks, so the statement's observable
+  // timing is identical with sampling on or off (DESIGN.md §5.7).
+  sampler_->begin(t0, machine_->trace());
   sim.spawn(execute(statement.query, &report));
   const double limit =
       options_.max_sim_time_s > 0 ? t0 + options_.max_sim_time_s : sim::Simulator::kNoLimit;
@@ -150,6 +180,10 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
     report.stopped = true;
     sim.run(limit + std::max(1.0, 0.5 * options_.max_sim_time_s));
   }
+  // Normally a no-op (execute() finished the sampler before its last
+  // event); on error/limit paths this cancels the parked tick and drops
+  // link-histogram registrations before any teardown can dangle them.
+  sampler_->finish();
 
   // Teardown: release exclusively held nodes ("when a CQ is stopped, its
   // RPs are terminated", §2.2).
@@ -346,6 +380,11 @@ sim::Task<void> Engine::execute(ExprPtr query, RunReport* report) {
     }
     co_await run_rp(cm);
     co_await cm.done->wait();
+    // End sampling *here*, inside the event at the statement's last
+    // timestamp: the cancelled tick parked past this instant is then
+    // consumed silently and can never advance the clock run_statement
+    // hands to the next statement.
+    sampler_->finish();
     report->elapsed_s = sim.now() - t0;
     if (auto* trace = machine_->trace()) {
       trace->interval("engine", "run", report->setup_s + t0, sim.now());
@@ -647,6 +686,20 @@ transport::ReceiverDriver& Engine::connect(const SpHandle& producer_handle, Rp& 
   if (auto* trace = machine_->trace()) {
     link->set_flow_trace(trace, "rp" + std::to_string(producer.id),
                          "rp" + std::to_string(consumer.id));
+  }
+  if (sampler_->active()) {
+    // Per-window latency quantiles for this connection. The rp labels
+    // keep keys unique when two connections share endpoints; the link
+    // (and its LogHistogram) outlives the sampler run — finish() drops
+    // the registration before rps_ is torn down.
+    sampler_->add_log_histogram(
+        obs::metric_key("transport.link.latency",
+                        {{"type", link->type()},
+                         {"src", producer.loc.to_string()},
+                         {"dst", consumer.loc.to_string()},
+                         {"src_rp", std::to_string(producer.id)},
+                         {"dst_rp", std::to_string(consumer.id)}}),
+        &link->stats().latency);
   }
   producer.senders.push_back(std::make_unique<transport::SenderDriver>(
       machine_->sim(), driver_params_for(producer.loc), machine_->cpu_of(producer.loc),

@@ -29,6 +29,7 @@
 #include "exec/env.hpp"
 #include "hw/machine.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sampler.hpp"
 #include "plan/builder.hpp"
 #include "scsql/parser.hpp"
 #include "transport/driver.hpp"
@@ -78,6 +79,12 @@ struct ExecOptions {
   /// results are byte-identical at every setting by construction. See
   /// DESIGN.md §5.6.
   int sim_lps = 0;
+  /// Telemetry sampling window in simulated seconds (obs/sampler.hpp).
+  /// < 0 = resolve from the SCSQ_SAMPLE_INTERVAL environment variable at
+  /// engine construction (unset/non-positive = off), 0 = off. Sampling
+  /// is observational by construction: every figure table is
+  /// byte-identical with it on or off (DESIGN.md §5.7).
+  double sample_interval_s = -1.0;
 };
 
 /// One producer→consumer stream connection, reported after the run.
@@ -157,6 +164,15 @@ class Engine {
   hw::Machine& machine() { return *machine_; }
   const ExecOptions& options() const { return options_; }
 
+  /// The sim-time telemetry sampler. Always constructed (cheap when
+  /// disabled); windows() holds the last statement's time series.
+  obs::Sampler& sampler() { return *sampler_; }
+
+  /// Re-arms the sampler with a new window length for subsequent
+  /// statements (the shell's \watch command). <= 0 turns sampling off.
+  /// Updates options().sample_interval_s.
+  void set_sample_interval(double interval_s);
+
  private:
   struct Rp {
     std::uint64_t id = 0;
@@ -204,6 +220,7 @@ class Engine {
   hw::Machine* machine_;
   ExecOptions options_;
   hw::LpPartition partition_;  // RP -> LP affinity (options_.sim_lps)
+  std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<ClusterCoordinator> fe_cc_;
   std::unique_ptr<ClusterCoordinator> be_cc_;
   std::unique_ptr<ClusterCoordinator> bg_cc_;

@@ -1,6 +1,9 @@
 #include "hw/lp_workload.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "hw/machine.hpp"
@@ -149,7 +152,24 @@ LpWorkloadResult run_lp_workload(const CostModel& cost, int lp_count, unsigned w
     }
   }
 
-  rt.run(workers);
+  if (options.monitor) {
+    rt.enable_live_timing(true);
+    std::atomic<bool> stop{false};
+    std::thread monitor_thread([&] {
+      const auto period = std::chrono::milliseconds(
+          options.monitor_interval_ms > 0 ? options.monitor_interval_ms : 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        options.monitor(rt.live_sample());
+        std::this_thread::sleep_for(period);
+      }
+    });
+    rt.run(workers);
+    stop.store(true, std::memory_order_release);
+    monitor_thread.join();
+    options.monitor(rt.live_sample());  // settled final snapshot
+  } else {
+    rt.run(workers);
+  }
 
   LpWorkloadResult result;
   result.checksum = merger->checksum;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "hw/cost_model.hpp"
@@ -31,6 +32,13 @@ struct LpWorkloadOptions {
   int messages_per_backend = 64;  ///< stream length emitted by each back-end node
   int work_per_event = 32;        ///< splitmix64 rounds per compute-node event
   std::uint64_t payload_bytes = 4096;
+  /// Optional live monitor: when set, run_lp_workload enables wall-clock
+  /// running/blocked accounting and spawns one monitor thread that calls
+  /// this with Runtime::live_sample() every monitor_interval_ms while
+  /// the run is in flight, plus once after completion. Observational
+  /// only — reads are atomic and the checksum stays bitwise identical.
+  std::function<void(const std::vector<sim::plp::LpLiveSample>&)> monitor;
+  int monitor_interval_ms = 10;
 };
 
 struct LpWorkloadResult {

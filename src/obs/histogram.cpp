@@ -48,6 +48,36 @@ void LogHistogram::merge(const LogHistogram& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
 }
 
+LogHistogram LogHistogram::delta_since(const LogHistogram& earlier) const {
+  SCSQ_CHECK(counts_.size() == earlier.counts_.size() && lo_ == earlier.lo_ &&
+             hi_ == earlier.hi_)
+      << "delta_since over LogHistograms of different shapes";
+  SCSQ_CHECK(count_ >= earlier.count_) << "delta_since: snapshot is newer than *this";
+  LogHistogram window(lo_, hi_, static_cast<int>(counts_.size()));
+  window.count_ = count_ - earlier.count_;
+  window.sum_ = sum_ - earlier.sum_;
+  if (window.count_ == 0) {
+    window.sum_ = 0.0;  // scrub float residue so mean() stays exactly 0
+    return window;
+  }
+  std::size_t first = counts_.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    SCSQ_CHECK(counts_[i] >= earlier.counts_[i]) << "delta_since: bucket went backwards";
+    window.counts_[i] = counts_[i] - earlier.counts_[i];
+    if (window.counts_[i] != 0) {
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  // Window extrema are unknown exactly; bound them by the occupied
+  // buckets and never extrapolate past the lifetime observations.
+  window.min_ = std::max(min_, window.bucket_lower(first));
+  window.max_ = std::min(max_, window.bucket_upper(last));
+  if (window.min_ > window.max_) window.min_ = window.max_;
+  return window;
+}
+
 double LogHistogram::bucket_lower(std::size_t i) const {
   return std::exp(log_lo_ + static_cast<double>(i) / inv_log_step_);
 }

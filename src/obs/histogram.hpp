@@ -36,6 +36,16 @@ class LogHistogram {
   /// Merges another histogram with the identical bucket shape.
   void merge(const LogHistogram& other);
 
+  /// The observations recorded since `earlier` (an older snapshot of
+  /// *this* histogram — same shape, counts <= ours), as a standalone
+  /// histogram whose quantiles cover only that window. Because exact
+  /// per-window min/max are not recoverable from bucket deltas, the
+  /// window's clamp range is the occupied buckets' edges intersected
+  /// with the lifetime [min, max]. An empty window (no new
+  /// observations) yields an empty histogram: count() == 0,
+  /// quantile() == 0.
+  LogHistogram delta_since(const LogHistogram& earlier) const;
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ ? min_ : 0.0; }

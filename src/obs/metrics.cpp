@@ -7,8 +7,6 @@
 
 namespace scsq::obs {
 
-namespace {
-
 // Key under which a metric is indexed: name plus canonical label render.
 // Labels keep their registration order (instruments are consistent about
 // it), so no sorting is needed for a stable key.
@@ -25,6 +23,8 @@ std::string metric_key(const std::string& name, const Labels& labels) {
   key += '}';
   return key;
 }
+
+namespace {
 
 void write_json_escaped(std::ostream& os, const std::string& s) {
   for (char c : s) {
@@ -156,6 +156,16 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels,
   return *e.histogram;
 }
 
+Registry::EntryView Registry::entry(std::size_t i) const {
+  SCSQ_CHECK(i < entries_.size()) << "registry entry index out of range";
+  const Entry& e = entries_[i];
+  return EntryView{e.name, e.labels, e.counter.get(), e.gauge.get(), e.histogram.get()};
+}
+
+void Registry::set_help(const std::string& name, std::string help) {
+  help_[name] = std::move(help);
+}
+
 std::uint64_t Registry::counter_total(const std::string& name) const {
   std::uint64_t total = 0;
   for (const auto& e : entries_) {
@@ -164,45 +174,75 @@ std::uint64_t Registry::counter_total(const std::string& name) const {
   return total;
 }
 
+void Registry::write_prometheus_entry(std::ostream& os, const Entry& e) const {
+  const std::string name = prom_name(e.name);
+  switch (e.kind) {
+    case Kind::kCounter:
+      os << name;
+      write_prom_labels(os, e.labels, nullptr, {});
+      os << ' ' << e.counter->value() << '\n';
+      break;
+    case Kind::kGauge:
+      os << name;
+      write_prom_labels(os, e.labels, nullptr, {});
+      os << ' ' << e.gauge->value() << '\n';
+      break;
+    case Kind::kHistogram: {
+      const Histogram& h = *e.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bucket_counts().size(); ++b) {
+        cumulative += h.bucket_counts()[b];
+        os << name << "_bucket";
+        write_prom_labels(os, e.labels, "le",
+                          b < h.bounds().size() ? format_bound(h.bounds()[b]) : "+Inf");
+        os << ' ' << cumulative << '\n';
+      }
+      os << name << "_sum";
+      write_prom_labels(os, e.labels, nullptr, {});
+      os << ' ' << h.sum() << '\n';
+      os << name << "_count";
+      write_prom_labels(os, e.labels, nullptr, {});
+      os << ' ' << h.count() << '\n';
+      break;
+    }
+  }
+}
+
 std::size_t Registry::write_prometheus(std::ostream& os, const std::string& filter) const {
-  std::size_t written = 0;
-  for (const auto& e : entries_) {
+  // Exposition-format contract: every series of one metric name sits in
+  // a single block headed by exactly one # HELP / # TYPE pair. Group the
+  // (filtered) entries by name in first-registration order, then emit
+  // block by block.
+  std::vector<std::size_t> selected;
+  selected.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
     if (!filter.empty() &&
         metric_key(e.name, e.labels).find(filter) == std::string::npos) {
       continue;
     }
-    ++written;
+    selected.push_back(i);
+  }
+  std::size_t written = 0;
+  std::vector<bool> emitted(entries_.size(), false);
+  for (std::size_t gi = 0; gi < selected.size(); ++gi) {
+    const std::size_t lead = selected[gi];
+    if (emitted[lead]) continue;
+    const Entry& e = entries_[lead];
     const std::string name = prom_name(e.name);
-    switch (e.kind) {
-      case Kind::kCounter:
-        os << "# TYPE " << name << " counter\n" << name;
-        write_prom_labels(os, e.labels, nullptr, {});
-        os << ' ' << e.counter->value() << '\n';
-        break;
-      case Kind::kGauge:
-        os << "# TYPE " << name << " gauge\n" << name;
-        write_prom_labels(os, e.labels, nullptr, {});
-        os << ' ' << e.gauge->value() << '\n';
-        break;
-      case Kind::kHistogram: {
-        const Histogram& h = *e.histogram;
-        os << "# TYPE " << name << " histogram\n";
-        std::uint64_t cumulative = 0;
-        for (std::size_t b = 0; b < h.bucket_counts().size(); ++b) {
-          cumulative += h.bucket_counts()[b];
-          os << name << "_bucket";
-          write_prom_labels(os, e.labels, "le",
-                            b < h.bounds().size() ? format_bound(h.bounds()[b]) : "+Inf");
-          os << ' ' << cumulative << '\n';
-        }
-        os << name << "_sum";
-        write_prom_labels(os, e.labels, nullptr, {});
-        os << ' ' << h.sum() << '\n';
-        os << name << "_count";
-        write_prom_labels(os, e.labels, nullptr, {});
-        os << ' ' << h.count() << '\n';
-        break;
-      }
+    const auto help = help_.find(e.name);
+    os << "# HELP " << name << ' ' << (help != help_.end() ? help->second : e.name)
+       << '\n';
+    os << "# TYPE " << name << ' '
+       << (e.kind == Kind::kCounter ? "counter"
+                                    : e.kind == Kind::kGauge ? "gauge" : "histogram")
+       << '\n';
+    for (std::size_t gj = gi; gj < selected.size(); ++gj) {
+      const Entry& s = entries_[selected[gj]];
+      if (s.name != e.name) continue;
+      emitted[selected[gj]] = true;
+      write_prometheus_entry(os, s);
+      ++written;
     }
   }
   return written;

@@ -38,6 +38,11 @@ struct Label {
 
 using Labels = std::vector<Label>;
 
+/// Canonical registry key: `name` alone, or `name{k=v,...}` with labels
+/// in registration order. This is the key every exporter and the
+/// time-series sampler use, exposed so tools can reconstruct it.
+std::string metric_key(const std::string& name, const Labels& labels);
+
 /// Monotonic counter (events, bytes, frames...).
 class Counter {
  public:
@@ -114,13 +119,36 @@ class Registry {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// Read-only view of one registered metric. Exactly one of the
+  /// instrument pointers is non-null. Indices are stable: entries_ is
+  /// append-only, so a sampler can remember "I have seen the first N
+  /// entries" and treat later indices as new series.
+  struct EntryView {
+    const std::string& name;
+    const Labels& labels;
+    const Counter* counter;
+    const Gauge* gauge;
+    const Histogram* histogram;
+  };
+
+  /// The i-th registered metric, in registration order (i < size()).
+  EntryView entry(std::size_t i) const;
+
   /// Sum of every counter whose name equals `name` across all label
   /// sets (tests/diagnostics).
   std::uint64_t counter_total(const std::string& name) const;
 
+  /// Attaches Prometheus `# HELP` text to a metric name (all label sets
+  /// share it). Without one the exporter falls back to the dotted
+  /// registry name, which at least survives the dot->underscore mangle.
+  void set_help(const std::string& name, std::string help);
+
   /// Prometheus-style text exposition: one `name{labels} value` line per
   /// metric, histograms as _bucket/_sum/_count series with cumulative
-  /// le-bucket counts. Dots in names become underscores.
+  /// le-bucket counts. Dots in names become underscores. Series sharing
+  /// a metric name are grouped under a single `# HELP` + `# TYPE` header
+  /// pair (the exposition-format contract scrapers rely on); label
+  /// values escape backslash, quote, and newline.
   void write_prometheus(std::ostream& os) const { write_prometheus(os, {}); }
 
   /// Filtered exposition: only metrics whose `name{k=v,...}` key contains
@@ -149,9 +177,11 @@ class Registry {
   };
 
   Entry& find_or_create(const std::string& name, const Labels& labels, Kind kind);
+  void write_prometheus_entry(std::ostream& os, const Entry& e) const;
 
   std::vector<Entry> entries_;                     // registration order
   std::unordered_map<std::string, std::size_t> index_;  // key -> entries_ slot
+  std::unordered_map<std::string, std::string> help_;   // metric name -> HELP text
 };
 
 }  // namespace scsq::obs

@@ -1,5 +1,7 @@
 #include "obs/sim_bridge.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 
 namespace scsq::obs {
@@ -44,6 +46,29 @@ void bridge_plp_stats(Registry& registry, const std::vector<sim::plp::LpStats>& 
   registry.counter("sim.lp.total.msgs_sent").set_total(totals.msgs_sent);
   registry.counter("sim.lp.total.msgs_recvd").set_total(totals.msgs_recvd);
   registry.counter("sim.lp.total.mailbox_full").set_total(totals.mailbox_full);
+}
+
+void bridge_plp_live(Registry& registry, const std::vector<sim::plp::LpLiveSample>& live) {
+  double min_horizon = 0.0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    min_horizon = i == 0 ? live[i].horizon_s : std::min(min_horizon, live[i].horizon_s);
+  }
+  for (const auto& s : live) {
+    const Labels labels{{"lp", std::to_string(s.lp)}};
+    registry.counter("sim.lp.live.events", labels).set_total(s.events);
+    registry.counter("sim.lp.live.null_updates", labels).set_total(s.null_updates);
+    registry.counter("sim.lp.live.msgs_sent", labels).set_total(s.msgs_sent);
+    registry.counter("sim.lp.live.msgs_recvd", labels).set_total(s.msgs_recvd);
+    registry.gauge("sim.lp.live.mailbox_depth", labels)
+        .set(static_cast<double>(s.inbox_depth));
+    const double traffic = static_cast<double>(s.null_updates + s.msgs_sent);
+    registry.gauge("sim.lp.live.null_ratio", labels)
+        .set(traffic > 0.0 ? static_cast<double>(s.null_updates) / traffic : 0.0);
+    registry.gauge("sim.lp.live.running_s", labels).set(s.running_s);
+    registry.gauge("sim.lp.live.blocked_s", labels).set(s.blocked_s);
+    registry.gauge("sim.lp.live.horizon_s", labels).set(s.horizon_s);
+    registry.gauge("sim.lp.live.clock_lag_s", labels).set(s.horizon_s - min_horizon);
+  }
 }
 
 }  // namespace scsq::obs

@@ -28,4 +28,16 @@ void bridge_sim_perf(Registry& registry, const sim::PerfCounters& perf);
 /// bridge_sim_perf: totals are set, not added.
 void bridge_plp_stats(Registry& registry, const std::vector<sim::plp::LpStats>& per_lp);
 
+/// Publishes a live snapshot (Runtime::live_sample()) into `registry`
+/// as sim.lp.live.* metrics: per-LP counters for events / null updates /
+/// messages (set_total — the live mirrors are monotone, so windowed
+/// rates fall out of the telemetry sampler), plus gauges for mailbox
+/// depth, null-message ratio (null_updates / (null_updates+msgs_sent)),
+/// wall running/blocked seconds, the LP frontier, and clock_lag_s —
+/// each LP's frontier minus the global minimum frontier, the
+/// "who is holding everyone back" view of the conservative protocol.
+/// Safe to call from a monitor thread while the runtime is in flight
+/// (the snapshot is plain data; the registry must be monitor-owned).
+void bridge_plp_live(Registry& registry, const std::vector<sim::plp::LpLiveSample>& live);
+
 }  // namespace scsq::obs

@@ -1,6 +1,7 @@
 #include "sim/plp.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -57,6 +58,7 @@ void Mailbox::post(const Message& m, LpStats& stats) {
   if (!staged_.empty() || !try_push(m)) {
     staged_.push_back(m);
     std::push_heap(staged_.begin(), staged_.end(), staged_after);
+    staged_count_.store(staged_.size(), std::memory_order_relaxed);
     ++stats.mailbox_full;
   }
 }
@@ -72,6 +74,7 @@ bool Mailbox::flush() {
     staged_.pop_back();
     moved = true;
   }
+  if (moved) staged_count_.store(staged_.size(), std::memory_order_relaxed);
   return moved;
 }
 
@@ -220,6 +223,10 @@ void Runtime::send_from(Lp& src_lp, NodeId src, NodeId dst, Time recv_time, std:
 }
 
 bool Runtime::step_lp(Lp& lp) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = live_timing_ ? Clock::now() : Clock::time_point{};
+  bool ran_window = false;
+  bool stalled = false;
   bool progressed = false;
   // 1. Staged overflow first: frees promises clamped by the staging floor.
   for (Mailbox* m : lp.out) progressed |= m->flush();
@@ -247,9 +254,11 @@ bool Runtime::step_lp(Lp& lp) {
     lp.sim.run_before(safe);
     lp.stats.events += lp.sim.events_dispatched() - before;
     ++lp.stats.windows;
+    ran_window = true;
     progressed = true;
   } else if (next < Simulator::kNoLimit) {
     ++lp.stats.stalls;  // pending work blocked by a neighbor's clock
+    stalled = true;
   }
   // 5. Republish output promises. `base` lower-bounds every future local
   //    send time: pending events are at >= next_event_time(), and any
@@ -269,8 +278,47 @@ bool Runtime::step_lp(Lp& lp) {
     lp.state.store((serial << 1) | idle, std::memory_order_seq_cst);
     if (drained != 0) delivered_.fetch_add(drained, std::memory_order_seq_cst);
     progress_beat_.fetch_add(1, std::memory_order_relaxed);
+    // Live-gauge mirrors: one relaxed store each per progress step, read
+    // by live_sample() from monitor threads.
+    lp.live_events.store(lp.stats.events, std::memory_order_relaxed);
+    lp.live_null_updates.store(lp.stats.null_updates, std::memory_order_relaxed);
+    lp.live_msgs_sent.store(lp.stats.msgs_sent, std::memory_order_relaxed);
+    lp.live_msgs_recvd.store(lp.stats.msgs_recvd, std::memory_order_relaxed);
+  }
+  // The frontier gauge: where this LP's clock stands. When the LP has
+  // fully drained (base unbounded), report its local now() instead of
+  // the kNoLimit sentinel so clock-lag math stays meaningful.
+  lp.live_horizon.store(base >= Simulator::kNoLimit ? lp.sim.now() : base,
+                        std::memory_order_relaxed);
+  if (live_timing_) {
+    const auto dt = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+    if (ran_window) {
+      lp.running_ns.fetch_add(dt, std::memory_order_relaxed);
+    } else if (stalled) {
+      lp.blocked_ns.fetch_add(dt, std::memory_order_relaxed);
+    }
   }
   return progressed;
+}
+
+std::vector<LpLiveSample> Runtime::live_sample() const {
+  std::vector<LpLiveSample> out;
+  out.reserve(lps_.size());
+  for (const auto& lp : lps_) {
+    LpLiveSample s;
+    s.lp = lp->id;
+    s.events = lp->live_events.load(std::memory_order_relaxed);
+    s.null_updates = lp->live_null_updates.load(std::memory_order_relaxed);
+    s.msgs_sent = lp->live_msgs_sent.load(std::memory_order_relaxed);
+    s.msgs_recvd = lp->live_msgs_recvd.load(std::memory_order_relaxed);
+    s.horizon_s = lp->live_horizon.load(std::memory_order_relaxed);
+    s.running_s = static_cast<double>(lp->running_ns.load(std::memory_order_relaxed)) * 1e-9;
+    s.blocked_s = static_cast<double>(lp->blocked_ns.load(std::memory_order_relaxed)) * 1e-9;
+    for (const Mailbox* m : lp->in) s.inbox_depth += m->depth();
+    out.push_back(s);
+  }
+  return out;
 }
 
 bool Runtime::quiescent() {

@@ -128,6 +128,17 @@ class Mailbox {
   /// is visible to a subsequent drain().
   Time clock() const { return clock_.load(std::memory_order_acquire); }
 
+  /// Messages currently buffered on this link: ring occupancy plus the
+  /// sender's staged overflow. Readable from ANY thread while the
+  /// runtime is in flight (the live-gauge sampler's view); the two
+  /// components are read atomically but not as a pair, so the value is
+  /// an instantaneous approximation, which is all a depth gauge needs.
+  std::size_t depth() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return (tail - head) + staged_count_.load(std::memory_order_relaxed);
+  }
+
   /// Appends all available messages to `out`; returns how many.
   std::size_t drain(std::vector<Message>& out);
 
@@ -145,6 +156,25 @@ class Mailbox {
   std::vector<Message> staged_;  // min-heap by recv_time (overflow)
   Time clock_shadow_ = 0.0;      // last published clock value
   alignas(64) std::atomic<double> clock_{0.0};
+  // Mirror of staged_.size() for depth(); written only by the sender.
+  std::atomic<std::size_t> staged_count_{0};
+};
+
+/// Point-in-time view of one LP while run() is in flight, safe to read
+/// from any thread (a wall-clock monitor / the telemetry sampler). All
+/// fields come from atomics published by the owning worker; cheap,
+/// relaxed, and monotone per field, but not a consistent cross-field
+/// snapshot — exactly what live gauges need and no more.
+struct LpLiveSample {
+  int lp = 0;
+  std::uint64_t events = 0;        ///< kernel events dispatched so far
+  std::uint64_t null_updates = 0;  ///< output channel-clock advances so far
+  std::uint64_t msgs_sent = 0;     ///< cross-LP messages posted so far
+  std::uint64_t msgs_recvd = 0;    ///< cross-LP messages drained so far
+  Time horizon_s = 0.0;            ///< LP frontier: min(next local event, safe horizon)
+  double running_s = 0.0;          ///< wall time executing safe windows (needs live timing)
+  double blocked_s = 0.0;          ///< wall time in passes stalled on neighbors' clocks
+  std::size_t inbox_depth = 0;     ///< buffered messages across this LP's input links
 };
 
 /// The conservative parallel runtime: nodes, LPs, mailboxes, workers.
@@ -214,6 +244,19 @@ class Runtime {
   /// identical for every worker count. May be called once.
   void run(unsigned workers = 0);
 
+  // --- live inspection (any thread, during run) ---
+
+  /// Turns on wall-clock accounting of running vs blocked time per LP
+  /// (two steady_clock reads per scheduler pass). Off by default so the
+  /// hot loop stays free of clock syscalls; call before run().
+  void enable_live_timing(bool on) { live_timing_ = on; }
+
+  /// Snapshot of every LP's live gauges. Callable from any thread at
+  /// any time — including while run() is in flight on other threads —
+  /// without perturbing the simulation (TSAN-clean relaxed/acquire
+  /// reads). running_s/blocked_s stay zero unless live timing is on.
+  std::vector<LpLiveSample> live_sample() const;
+
   // --- post-run inspection ---
 
   const LpStats& lp_stats(int lp) const;
@@ -244,6 +287,17 @@ class Runtime {
     // (serial << 1) | idle, published (release) at the end of every step
     // that made progress; read by the quiescence detector.
     alignas(64) std::atomic<std::uint64_t> state{0};
+    // Live-gauge mirrors of stats/sim state, relaxed-stored by the
+    // owning worker once per progress step, read by live_sample() from
+    // anywhere. Grouped on their own line so monitor reads do not
+    // bounce the quiescence-critical `state` cache line.
+    alignas(64) std::atomic<std::uint64_t> live_events{0};
+    std::atomic<std::uint64_t> live_null_updates{0};
+    std::atomic<std::uint64_t> live_msgs_sent{0};
+    std::atomic<std::uint64_t> live_msgs_recvd{0};
+    std::atomic<Time> live_horizon{0.0};
+    std::atomic<std::uint64_t> running_ns{0};
+    std::atomic<std::uint64_t> blocked_ns{0};
   };
 
   Mailbox* mailbox(int src_lp, int dst_lp) const {
@@ -265,6 +319,7 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // dense lp*lp grid
   std::vector<NodeState> nodes_;
   bool ran_ = false;
+  bool live_timing_ = false;
   std::uint64_t total_deliveries_ = 0;
   std::vector<std::uint64_t> collect_;  // quiescence-detector scratch (worker 0 only)
   std::atomic<bool> done_{false};

@@ -26,16 +26,19 @@ void Simulator::spawn(Task<void> task) {
   schedule_now(handle);
 }
 
-void Simulator::call_at(Time at, std::function<void()> fn) {
+Simulator::TimerId Simulator::call_at(Time at, std::function<void()> fn) {
   SCSQ_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
+  SCSQ_CHECK(fn != nullptr) << "call_at with empty callback";
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
     callbacks_[slot] = std::move(fn);
+    ++callback_gens_[slot];
   } else {
     slot = static_cast<std::uint32_t>(callbacks_.size());
     callbacks_.push_back(std::move(fn));
+    callback_gens_.push_back(0);
   }
   const auto payload = (static_cast<std::uintptr_t>(slot) << 1) | 1u;
   if (at == now_) {
@@ -43,6 +46,19 @@ void Simulator::call_at(Time at, std::function<void()> fn) {
   } else {
     push_heap(at, payload);
   }
+  return TimerId{slot, callback_gens_[slot]};
+}
+
+bool Simulator::cancel_timer(TimerId id) {
+  // The slot stays allocated (not on free_slots_) until its queue node
+  // pops: a recycled slot before the pop would let the stale node fire a
+  // *different* callback. Nulling the body is what marks cancellation;
+  // consume_cancelled releases the slot at pop time.
+  if (id.slot >= callbacks_.size()) return false;
+  if (callback_gens_[id.slot] != id.gen) return false;
+  if (!callbacks_[id.slot]) return false;
+  callbacks_[id.slot] = nullptr;
+  return true;
 }
 
 void Simulator::pop_heap_root() {
@@ -103,11 +119,16 @@ Time Simulator::run_loop(Time limit) {
           fifo_head_ = 0;
         }
       }
+      if (consume_cancelled(payload)) continue;
     } else if (heap_size != 0) {
       const Time at = heap_[0].at;
       if (Strict ? at >= limit : at > limit) break;
       payload = heap_[0].payload;
       pop_heap_root();
+      // Cancelled timers vanish here, *before* the clock advances: a
+      // cancelled node parked past the last real event must not drag
+      // now() forward (the sampler's determinism contract rides on this).
+      if (consume_cancelled(payload)) continue;
       now_ = at;
     } else {
       break;

@@ -84,9 +84,28 @@ class Simulator {
   /// same-time events (FIFO within a timestamp).
   void schedule_now(std::coroutine_handle<> h) { push_fifo(encode(h)); }
 
+  /// Handle to a pending call_at timer, usable with cancel_timer. The
+  /// generation counter makes stale handles harmless: a slot recycled to
+  /// a newer timer no longer matches an old TimerId.
+  struct TimerId {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
   /// Schedules a plain callback at absolute time `at`. The callable is
-  /// parked in a reusable slab; the queue node stays 24-byte POD.
-  void call_at(Time at, std::function<void()> fn);
+  /// parked in a reusable slab; the queue node stays 24-byte POD. The
+  /// returned TimerId can cancel the callback before it fires.
+  TimerId call_at(Time at, std::function<void()> fn);
+
+  /// Cancels a pending call_at timer. Returns true when the callback was
+  /// still pending (it will never run); false for a timer that already
+  /// fired, was already cancelled, or whose slot was recycled. A
+  /// cancelled queue node is consumed silently when its timestamp is
+  /// reached: it does not advance now(), does not count as a dispatched
+  /// event, and never keeps run() from returning — so a periodic sampler
+  /// can park a timer past the end of a run without perturbing the
+  /// simulation's observable timing.
+  bool cancel_timer(TimerId id);
 
   /// Awaitable: suspends the awaiting coroutine for `dt` seconds
   /// (dt <= 0 completes immediately without suspension).
@@ -150,6 +169,10 @@ class Simulator {
 
   /// Total events dispatched so far (diagnostics / tests).
   std::uint64_t events_dispatched() const { return perf_.events_dispatched; }
+
+  /// Outstanding queued events (heap + same-time FIFO), including any
+  /// cancelled-but-unpopped timer nodes. Live observability gauge; O(1).
+  std::size_t queue_depth() const { return heap_.size() + (fifo_.size() - fifo_head_); }
 
   /// Kernel event-loop counters (see PerfCounters). Zero-cost accessor.
   const PerfCounters& perf() const { return perf_; }
@@ -216,6 +239,16 @@ class Simulator {
   void run_callback(std::uintptr_t payload);
   void sweep_finished_roots();
 
+  // True (and the slot released) when `payload` is a cancelled callback
+  // node: the dispatch loop consumes it without any observable effect.
+  bool consume_cancelled(std::uintptr_t payload) {
+    if (!(payload & 1u)) return false;
+    const auto slot = static_cast<std::uint32_t>(payload >> 1);
+    if (callbacks_[slot]) return false;
+    free_slots_.push_back(slot);
+    return true;
+  }
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   PerfCounters perf_;
@@ -223,6 +256,7 @@ class Simulator {
   std::vector<QueuedEvent> fifo_;  // events at now_, drained by fifo_head_
   std::size_t fifo_head_ = 0;
   std::vector<std::function<void()>> callbacks_;  // slab for call_at bodies
+  std::vector<std::uint32_t> callback_gens_;      // slot generation (TimerId check)
   std::vector<std::uint32_t> free_slots_;         // recycled slab indices
   std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
 };

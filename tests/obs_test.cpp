@@ -93,6 +93,56 @@ TEST(Registry, PrometheusExport) {
   EXPECT_NE(text.find("lat_count 1"), std::string::npos);
 }
 
+TEST(Registry, PrometheusGroupsHelpAndTypeOncePerName) {
+  Registry registry;
+  registry.counter("link.bytes", {{"src", "a"}}).inc(1);
+  registry.gauge("util").set(0.5);  // interleaved: a different family
+  registry.counter("link.bytes", {{"src", "b"}}).inc(2);
+  registry.set_help("link.bytes", "payload bytes per link");
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string text = os.str();
+  // One HELP and one TYPE per family, despite two series and the
+  // interleaved registration order.
+  std::size_t helps = 0;
+  std::size_t types = 0;
+  for (std::size_t pos = 0; (pos = text.find("# HELP link_bytes", pos)) != std::string::npos;
+       pos += 1) {
+    ++helps;
+  }
+  for (std::size_t pos = 0; (pos = text.find("# TYPE link_bytes", pos)) != std::string::npos;
+       pos += 1) {
+    ++types;
+  }
+  EXPECT_EQ(helps, 1u);
+  EXPECT_EQ(types, 1u);
+  EXPECT_NE(text.find("# HELP link_bytes payload bytes per link"), std::string::npos);
+  // Both series follow their family header contiguously.
+  const auto type_at = text.find("# TYPE link_bytes counter");
+  const auto a_at = text.find("link_bytes{src=\"a\"} 1");
+  const auto b_at = text.find("link_bytes{src=\"b\"} 2");
+  const auto util_at = text.find("# TYPE util gauge");
+  ASSERT_NE(type_at, std::string::npos);
+  ASSERT_NE(a_at, std::string::npos);
+  ASSERT_NE(b_at, std::string::npos);
+  ASSERT_NE(util_at, std::string::npos);
+  EXPECT_LT(type_at, a_at);
+  EXPECT_LT(a_at, b_at);
+  EXPECT_TRUE(util_at < type_at || util_at > b_at);  // families not interleaved
+}
+
+TEST(Registry, PrometheusEscapesLabelValues) {
+  Registry registry;
+  registry.counter("c", {{"path", "a\\b"}, {"q", "say \"hi\"\nbye"}}).inc(1);
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(text.find("q=\"say \\\"hi\\\"\\nbye\""), std::string::npos);
+  // The raw newline must not survive into the exposition line.
+  EXPECT_EQ(text.find("say \"hi\"\n"), std::string::npos);
+}
+
 TEST(Registry, JsonExportParses) {
   Registry registry;
   registry.counter("a.b", {{"k", "v\"1\""}}).inc(3);

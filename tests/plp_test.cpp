@@ -5,6 +5,8 @@
 // SCSQ_SIM_LPS affinity plumbing.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -338,6 +340,88 @@ TEST(PlpBridge, PublishesPerLpAndTotalSeries) {
   EXPECT_NE(json.find("sim.lp.count"), std::string::npos);
   // Idempotent: re-bridging does not double-count.
   obs::bridge_plp_stats(registry, r.per_lp);
+  std::ostringstream os2;
+  registry.write_json(os2);
+  EXPECT_EQ(json, os2.str());
+}
+
+// ---------------------------------------------------------------------
+// Live runtime gauges (the telemetry sampler's mid-run view)
+// ---------------------------------------------------------------------
+
+TEST(LpLive, MonitorSamplesMidRunWithoutPerturbingResults) {
+  // The monitor thread reads live atomics while workers run — this test
+  // under TSAN is the data-race gate for the whole live-sample path.
+  const auto cost = hw::CostModel::lofar();
+  hw::LpWorkloadOptions plain;
+  plain.messages_per_backend = 48;
+  const auto reference = hw::run_lp_workload(cost, 4, 2, plain);
+
+  hw::LpWorkloadOptions monitored = plain;
+  std::atomic<int> calls{0};
+  std::vector<sim::plp::LpLiveSample> last;
+  std::mutex mu;
+  monitored.monitor_interval_ms = 1;
+  monitored.monitor = [&](const std::vector<sim::plp::LpLiveSample>& s) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mu);
+    last = s;
+  };
+  const auto r = hw::run_lp_workload(cost, 4, 2, monitored);
+  EXPECT_EQ(r.checksum, reference.checksum);
+  EXPECT_EQ(r.events, reference.events);
+  EXPECT_DOUBLE_EQ(r.end_time_s, reference.end_time_s);
+
+  // The final (post-join) sample reflects the completed run.
+  EXPECT_GE(calls.load(), 1);
+  ASSERT_EQ(last.size(), 4u);
+  std::uint64_t events = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t recvd = 0;
+  for (const auto& s : last) {
+    events += s.events;
+    sent += s.msgs_sent;
+    recvd += s.msgs_recvd;
+    EXPECT_GE(s.horizon_s, 0.0);
+    EXPECT_EQ(s.inbox_depth, 0u);  // drained at completion
+    EXPECT_GE(s.running_s, 0.0);   // live timing was enabled by the monitor
+    EXPECT_GE(s.blocked_s, 0.0);
+  }
+  EXPECT_EQ(events, r.events);
+  EXPECT_EQ(sent, recvd);  // every sent message was received
+  EXPECT_EQ(sent, r.totals.msgs_sent);
+}
+
+TEST(LpLive, BridgePublishesGaugesAndMonotoneCounters) {
+  const auto cost = hw::CostModel::lofar();
+  hw::LpWorkloadOptions options;
+  options.messages_per_backend = 16;
+  std::vector<sim::plp::LpLiveSample> final_sample;
+  std::mutex mu;
+  options.monitor = [&](const std::vector<sim::plp::LpLiveSample>& s) {
+    const std::lock_guard<std::mutex> lock(mu);
+    final_sample = s;
+  };
+  hw::run_lp_workload(cost, 2, 1, options);
+  ASSERT_EQ(final_sample.size(), 2u);
+
+  obs::Registry registry;
+  obs::bridge_plp_live(registry, final_sample);
+  std::ostringstream os;
+  registry.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("sim.lp.live.events"), std::string::npos);
+  EXPECT_NE(json.find("sim.lp.live.mailbox_depth"), std::string::npos);
+  EXPECT_NE(json.find("sim.lp.live.null_ratio"), std::string::npos);
+  EXPECT_NE(json.find("sim.lp.live.clock_lag_s"), std::string::npos);
+  // At completion every LP's horizon equals the furthest clock: lag 0.
+  for (std::size_t i = 0; i < final_sample.size(); ++i) {
+    const double lag =
+        registry.gauge("sim.lp.live.clock_lag_s", {{"lp", std::to_string(i)}}).value();
+    EXPECT_GE(lag, 0.0);
+  }
+  // Re-bridging the same sample is idempotent (set_total/gauge set).
+  obs::bridge_plp_live(registry, final_sample);
   std::ostringstream os2;
   registry.write_json(os2);
   EXPECT_EQ(json, os2.str());

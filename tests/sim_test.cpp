@@ -592,6 +592,52 @@ TEST(Simulator, DelayUntilMatchesSequentialDelayFold) {
   EXPECT_NE(seq.now(), kSteps * kStep);
 }
 
+TEST(Simulator, CancelTimerSuppressesCallbackWithoutAdvancingClock) {
+  Simulator sim;
+  bool fired = false;
+  int runs = 0;
+  const Simulator::TimerId id = sim.call_at(5.0, [&] { fired = true; });
+  sim.call_at(1.0, [&] { ++runs; });
+  EXPECT_TRUE(sim.cancel_timer(id));
+  EXPECT_FALSE(sim.cancel_timer(id));  // second cancel: already gone
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(runs, 1);
+  // The parked node at t=5 was consumed silently: the clock stopped at
+  // the last real event and the cancelled node was not dispatched.
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_EQ(sim.events_dispatched(), 1u);
+}
+
+TEST(Simulator, CancelTimerGenerationGuardsRecycledSlot) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  const Simulator::TimerId stale = sim.call_at(1.0, [&] { ++first; });
+  sim.run();  // fires; the slab slot is free for re-use
+  EXPECT_EQ(first, 1);
+  EXPECT_FALSE(sim.cancel_timer(stale));  // already fired
+  const Simulator::TimerId fresh = sim.call_at(2.0, [&] { ++second; });
+  // Cancelling through the stale handle must not hit the new timer,
+  // even if the slab recycled the same slot.
+  EXPECT_FALSE(sim.cancel_timer(stale));
+  sim.run();
+  EXPECT_EQ(second, 1);
+  EXPECT_TRUE(fresh.slot == stale.slot ? fresh.gen != stale.gen : true);
+}
+
+TEST(Simulator, CancelledTimerNeverBlocksRunCompletion) {
+  // A sampler parks a periodic timer past the end of the workload and
+  // cancels it at drain; run() must return at the last real event.
+  Simulator sim;
+  Simulator::TimerId tick{};
+  sim.call_at(1.0, [&] { tick = sim.call_at(10.0, [] { FAIL() << "tick ran"; }); });
+  sim.call_at(2.0, [&] { EXPECT_TRUE(sim.cancel_timer(tick)); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), Simulator::kNoLimit);
+}
+
 TEST(Simulator, DelayUntilPastIsImmediate) {
   Simulator sim;
   int steps = 0;

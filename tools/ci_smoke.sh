@@ -130,6 +130,38 @@ cmp "$TMPD/fig6_lps1.txt" "$TMPD/fig6_lps4.txt" || {
   echo "SCSQ_SIM_LPS changed bench output"; exit 1; }
 echo "   fig6 tables byte-identical at SCSQ_SIM_LPS=1 vs 4"
 
+# Telemetry-sampler smoke: arming SCSQ_SAMPLE_INTERVAL must leave bench
+# stdout byte-identical (sampler on/off, crossed with SCSQ_SIM_LPS 1/4 —
+# the sampler's zero-duration ticks may not perturb a single simulated
+# second), the SCSQ_TIMESERIES_OUT JSONL must validate, and the
+# --timeseries analyzer must hold its exit-code contract: 0 on a clean
+# analyze and on a self-diff, 1 on an injected steady-rate regression.
+echo "== telemetry sampler time series =="
+SCSQ_SAMPLE_INTERVAL=0.05 SCSQ_TIMESERIES_OUT="$TMPD/fig6_ts.jsonl" \
+  "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_sampled.txt"
+cmp "$TMPD/fig6_plain.txt" "$TMPD/fig6_sampled.txt" || {
+  echo "SCSQ_SAMPLE_INTERVAL changed bench stdout"; exit 1; }
+SCSQ_SAMPLE_INTERVAL=0.05 SCSQ_SIM_LPS=4 \
+  "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_sampled_lps4.txt"
+cmp "$TMPD/fig6_plain.txt" "$TMPD/fig6_sampled_lps4.txt" || {
+  echo "SCSQ_SAMPLE_INTERVAL x SCSQ_SIM_LPS changed bench stdout"; exit 1; }
+validate_json "$TMPD/fig6_ts.jsonl"
+echo "   stdout byte-identical sampler on/off at SCSQ_SIM_LPS 1 and 4;" \
+     "JSONL ok ($(wc -l < "$TMPD/fig6_ts.jsonl") windows)"
+"$BUILD/tools/metrics_diff" --timeseries "$TMPD/fig6_ts.jsonl" > /dev/null
+"$BUILD/tools/metrics_diff" --timeseries "$TMPD/fig6_ts.jsonl" "$TMPD/fig6_ts.jsonl" > /dev/null
+cat > "$TMPD/ts_seed.jsonl" <<'EOF'
+{"point":0,"window":0,"t_start":0,"t_end":1,"counters":{"transport.link.bytes{src=a}":{"delta":1000,"rate":1000}}}
+{"point":0,"window":1,"t_start":1,"t_end":2,"counters":{"transport.link.bytes{src=a}":{"delta":1000,"rate":1000}}}
+{"point":0,"window":2,"t_start":2,"t_end":3,"counters":{"transport.link.bytes{src=a}":{"delta":1000,"rate":1000}}}
+EOF
+sed 's/1000/400/g' "$TMPD/ts_seed.jsonl" > "$TMPD/ts_regressed.jsonl"
+rc=0
+"$BUILD/tools/metrics_diff" --timeseries \
+  "$TMPD/ts_seed.jsonl" "$TMPD/ts_regressed.jsonl" > /dev/null || rc=$?
+[[ "$rc" == "1" ]] || { echo "injected time-series regression not flagged (exit $rc)"; exit 1; }
+echo "   --timeseries: clean analyze + self-diff exit 0, injected regression exit 1"
+
 # Conservative-LP runtime smoke: the benchmark aborts on any LP-count
 # determinism violation (checksum vs the sequential run), so one fast
 # shot doubles as a correctness gate.

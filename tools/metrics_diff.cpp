@@ -43,6 +43,23 @@
 //     = 20 percentage points) — gating attribution regressions such as
 //     packetization waste creeping up.
 //
+//   metrics_diff [--series=SUB] --timeseries SERIES.jsonl
+//     Analyzes a telemetry-sampler time series (SCSQ_TIMESERIES_OUT
+//     JSONL). Records are grouped by their "point" tag (untagged raw
+//     sampler output is one point). Per point the windows are
+//     validated (t_start < t_end, contiguous coverage, finite
+//     non-negative counter deltas/rates — exit 1 on violation) and a
+//     primary rate per window is formed by summing the rates of every
+//     counter whose key contains --series. Steady state is the set of
+//     windows within ±25% of the median nonzero rate; the report gives
+//     ramp time (start to the first steady window), steady mean, peak
+//     and p99 window rate.
+//
+//   metrics_diff [--threshold=0.2] [--series=SUB] --timeseries OLD NEW
+//     Pairs points across two time-series files and compares their
+//     steady-state mean rates; fail (exit 1) when a point's steady
+//     rate drops below old*(1-threshold). Identical inputs exit 0.
+//
 // Exit codes: 0 ok, 1 regression/violation found, 2 usage/parse error,
 // 3 (--check only) measurement lacking a "seed" key with no regression.
 #include <algorithm>
@@ -344,6 +361,196 @@ int run_profile_diff(const std::string& old_path, const std::string& new_path,
   return regressions > 0 ? 1 : 0;
 }
 
+// --- windowed time-series analysis (SCSQ_TIMESERIES_OUT) ---
+
+/// One sampler window reduced to the primary series: the sum of the
+/// rates of every counter whose key contains the --series substring.
+struct SeriesWindow {
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double rate = 0.0;
+};
+
+/// A sampler window record: the obs::Sampler JSONL shape, with or
+/// without the "point" tag the bench harness splices in front.
+bool is_window_record(const Value& v) {
+  if (!v.is_object()) return false;
+  const Value* t0 = v.find("t_start");
+  const Value* t1 = v.find("t_end");
+  const Value* counters = v.find("counters");
+  return t0 != nullptr && t0->is_number() && t1 != nullptr && t1->is_number() &&
+         counters != nullptr && counters->is_object();
+}
+
+/// Parses a time-series file into per-point window lists, validating
+/// the sampler invariants along the way: positive-length windows,
+/// contiguous coverage, finite non-negative deltas and rates. Returns
+/// the number of violations printed.
+int load_timeseries(const std::string& path, const std::string& series,
+                    std::map<long, std::vector<SeriesWindow>>* points) {
+  const Value doc = parse_file(path);
+  std::vector<const Value*> records;
+  if (doc.is_array()) {
+    for (const auto& item : doc.as_array()) {
+      if (is_window_record(item)) records.push_back(&item);
+    }
+  } else if (is_window_record(doc)) {
+    records.push_back(&doc);
+  }
+  int violations = 0;
+  std::size_t n = 0;
+  for (const Value* rec : records) {
+    ++n;
+    const Value* point = rec->find("point");
+    const long p =
+        point != nullptr && point->is_number() ? static_cast<long>(point->as_number()) : 0;
+    SeriesWindow w;
+    w.t_start = rec->find("t_start")->as_number();
+    w.t_end = rec->find("t_end")->as_number();
+    if (!(w.t_end > w.t_start)) {
+      std::printf("VIOLATION %s window %zu: t_end %g <= t_start %g\n", path.c_str(), n,
+                  w.t_end, w.t_start);
+      ++violations;
+    }
+    for (const auto& [key, counter] : rec->find("counters")->as_object()) {
+      if (!counter.is_object()) continue;
+      const Value* delta = counter.find("delta");
+      const Value* rate = counter.find("rate");
+      const double d = delta != nullptr && delta->is_number() ? delta->as_number() : -1.0;
+      const double r = rate != nullptr && rate->is_number() ? rate->as_number() : -1.0;
+      if (d < 0.0 || !std::isfinite(r) || r < 0.0) {
+        std::printf("VIOLATION %s window %zu: counter %s has bad delta/rate\n",
+                    path.c_str(), n, key.c_str());
+        ++violations;
+        continue;
+      }
+      if (key.find(series) != std::string::npos) w.rate += r;
+    }
+    auto& windows = (*points)[p];
+    if (!windows.empty()) {
+      const double prev_end = windows.back().t_end;
+      const double tol = 1e-9 * std::max(1.0, std::fabs(prev_end));
+      if (std::fabs(w.t_start - prev_end) > tol) {
+        std::printf("VIOLATION %s window %zu (point %ld): t_start %.17g does not "
+                    "continue previous t_end %.17g\n",
+                    path.c_str(), n, p, w.t_start, prev_end);
+        ++violations;
+      }
+    }
+    windows.push_back(w);
+  }
+  return violations;
+}
+
+/// Steady-state summary of one point's windows: the windows whose
+/// primary-series rate sits within ±25% of the median nonzero rate.
+struct SteadyState {
+  double ramp_s = 0.0;        ///< first window start -> first steady window start
+  double steady_mean = 0.0;   ///< mean rate over steady windows
+  double peak = 0.0;          ///< max window rate
+  double p99 = 0.0;           ///< 99th-percentile window rate
+  std::size_t steady_windows = 0;
+  std::size_t windows = 0;
+};
+
+SteadyState analyze_point(const std::vector<SeriesWindow>& windows) {
+  SteadyState s;
+  s.windows = windows.size();
+  if (windows.empty()) return s;
+  std::vector<double> nonzero;
+  for (const auto& w : windows) {
+    s.peak = std::max(s.peak, w.rate);
+    if (w.rate > 0.0) nonzero.push_back(w.rate);
+  }
+  std::vector<double> rates;
+  rates.reserve(windows.size());
+  for (const auto& w : windows) rates.push_back(w.rate);
+  std::sort(rates.begin(), rates.end());
+  s.p99 = rates[std::min(rates.size() - 1,
+                         static_cast<std::size_t>(0.99 * static_cast<double>(rates.size())))];
+  if (nonzero.empty()) return s;
+  std::sort(nonzero.begin(), nonzero.end());
+  const double median = nonzero[nonzero.size() / 2];
+  bool first_steady_seen = false;
+  double steady_sum = 0.0;
+  for (const auto& w : windows) {
+    if (std::fabs(w.rate - median) <= 0.25 * median) {
+      if (!first_steady_seen) {
+        first_steady_seen = true;
+        s.ramp_s = w.t_start - windows.front().t_start;
+      }
+      steady_sum += w.rate;
+      ++s.steady_windows;
+    }
+  }
+  if (s.steady_windows > 0) steady_sum /= static_cast<double>(s.steady_windows);
+  s.steady_mean = steady_sum;
+  return s;
+}
+
+int run_timeseries_check(const std::string& path, const std::string& series) {
+  std::map<long, std::vector<SeriesWindow>> points;
+  const int violations = load_timeseries(path, series, &points);
+  if (points.empty()) {
+    std::fprintf(stderr, "metrics_diff: %s: no sampler windows found\n", path.c_str());
+    return 2;
+  }
+  for (const auto& [p, windows] : points) {
+    const SteadyState s = analyze_point(windows);
+    std::printf("point %ld: %zu window(s), %zu steady, ramp %.6g s, "
+                "steady mean %.6g /s, peak %.6g /s, p99 window %.6g /s [series '%s']\n",
+                p, s.windows, s.steady_windows, s.ramp_s, s.steady_mean, s.peak, s.p99,
+                series.c_str());
+  }
+  std::printf("%s: %zu point(s), %d violation(s)\n", path.c_str(), points.size(),
+              violations);
+  return violations > 0 ? 1 : 0;
+}
+
+int run_timeseries_diff(const std::string& old_path, const std::string& new_path,
+                        const std::string& series, double threshold) {
+  std::map<long, std::vector<SeriesWindow>> old_points, new_points;
+  const int old_violations = load_timeseries(old_path, series, &old_points);
+  const int new_violations = load_timeseries(new_path, series, &new_points);
+  if (old_points.empty() || new_points.empty()) {
+    std::fprintf(stderr, "metrics_diff: no sampler windows to compare (%zu old, %zu new)\n",
+                 old_points.size(), new_points.size());
+    return 2;
+  }
+  int regressions = 0;
+  std::size_t pairs = 0;
+  for (const auto& [p, old_windows] : old_points) {
+    const auto it = new_points.find(p);
+    if (it == new_points.end()) {
+      std::printf("ONLY-OLD   point %ld (%zu windows)\n", p, old_windows.size());
+      continue;
+    }
+    ++pairs;
+    const SteadyState old_s = analyze_point(old_windows);
+    const SteadyState new_s = analyze_point(it->second);
+    if (old_s.steady_mean > 0.0 &&
+        new_s.steady_mean < old_s.steady_mean * (1.0 - threshold)) {
+      std::printf("REGRESSION point %ld: steady mean %.6g -> %.6g /s (%+.1f%%)\n", p,
+                  old_s.steady_mean, new_s.steady_mean,
+                  (new_s.steady_mean - old_s.steady_mean) / old_s.steady_mean * 100.0);
+      ++regressions;
+    } else if (new_s.steady_mean != old_s.steady_mean) {
+      std::printf("CHANGED    point %ld: steady mean %.6g -> %.6g /s\n", p,
+                  old_s.steady_mean, new_s.steady_mean);
+    }
+  }
+  for (const auto& [p, new_windows] : new_points) {
+    if (!old_points.contains(p)) {
+      std::printf("ONLY-NEW   point %ld (%zu windows)\n", p, new_windows.size());
+    }
+  }
+  std::printf("%zu point pair(s) compared, %d steady-rate regression(s) "
+              "(threshold %.0f%%, series '%s')\n",
+              pairs, regressions, threshold * 100.0, series.c_str());
+  if (regressions > 0 || old_violations > 0 || new_violations > 0) return 1;
+  return 0;
+}
+
 void print_usage(std::FILE* to) {
   std::fprintf(to,
                "usage: metrics_diff [--threshold=FRACTION] --check BASELINE.json\n"
@@ -351,6 +558,9 @@ void print_usage(std::FILE* to) {
                "OLD.json NEW.json\n"
                "       metrics_diff --check-profile PROFILE.json\n"
                "       metrics_diff [--threshold=FRACTION] --profile-diff OLD.json NEW.json\n"
+               "       metrics_diff [--series=SUB] --timeseries SERIES.jsonl\n"
+               "       metrics_diff [--threshold=FRACTION] [--series=SUB] --timeseries "
+               "OLD.jsonl NEW.jsonl\n"
                "\n"
                "  --threshold=F   regression tolerance, 0 <= F < 1 (default 0.2).\n"
                "                  diff/check: flag drops below old*(1-F);\n"
@@ -360,6 +570,13 @@ void print_usage(std::FILE* to) {
                "                  (REGRESSION and ONLY-* lines always print)\n"
                "  --check-profile validate EXPLAIN ANALYZE attribution sums\n"
                "  --profile-diff  compare per-cause attribution shares by position\n"
+               "  --timeseries    analyze a sampler time series (SCSQ_TIMESERIES_OUT):\n"
+               "                  validate window invariants and report ramp time,\n"
+               "                  steady-state mean, peak and p99 window rate per point.\n"
+               "                  With two files, compare steady-state rates and flag\n"
+               "                  drops below old*(1-threshold).\n"
+               "  --series=SUB    timeseries mode: counters whose key contains SUB form\n"
+               "                  the primary rate (default 'transport.link.bytes')\n"
                "  --help          print this help and exit 0\n"
                "\n"
                "exit codes:\n"
@@ -384,6 +601,8 @@ int main(int argc, char** argv) {
   bool check = false;
   bool check_profile = false;
   bool profile_diff = false;
+  bool timeseries = false;
+  std::string series = "transport.link.bytes";
   std::string filter;
   long top = -1;
   std::vector<std::string> files;
@@ -417,25 +636,35 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "metrics_diff: bad top '%s'\n", argv[i]);
         return 2;
       }
+    } else if (arg.rfind("--series=", 0) == 0) {
+      series = arg.substr(std::strlen("--series="));
+    } else if (arg == "--series" && i + 1 < argc) {
+      series = argv[++i];
     } else if (arg == "--check") {
       check = true;
     } else if (arg == "--check-profile") {
       check_profile = true;
     } else if (arg == "--profile-diff") {
       profile_diff = true;
+    } else if (arg == "--timeseries") {
+      timeseries = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
       files.push_back(arg);
     }
   }
-  if (check + check_profile + profile_diff > 1) usage();
+  if (check + check_profile + profile_diff + timeseries > 1) usage();
   if (check && files.size() == 1) return run_check(files[0], threshold);
   if (check_profile && files.size() == 1) return run_check_profile(files[0]);
   if (profile_diff && files.size() == 2) {
     return run_profile_diff(files[0], files[1], threshold);
   }
-  if (!check && !check_profile && !profile_diff && files.size() == 2) {
+  if (timeseries && files.size() == 1) return run_timeseries_check(files[0], series);
+  if (timeseries && files.size() == 2) {
+    return run_timeseries_diff(files[0], files[1], series, threshold);
+  }
+  if (!check && !check_profile && !profile_diff && !timeseries && files.size() == 2) {
     return run_diff(files[0], files[1], threshold, filter, top);
   }
   usage();

@@ -30,6 +30,13 @@
 //              the measured dataflow plan tree, the critical path, and
 //              the per-cause time attribution.
 //   \profile   print the EXPLAIN ANALYZE report of the last query.
+//   \watch <interval_s> [series]
+//              arm the sim-time telemetry sampler: subsequent queries
+//              print a per-window rate table (windows of <interval_s>
+//              simulated seconds) for counters whose key contains
+//              `series` (default transport.link.bytes). "\watch off"
+//              disarms. Sampling is observational: query results and
+//              timings are unchanged (DESIGN.md §5.7).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -96,6 +103,34 @@ void print_profile(scsq::Scsq& scsq, const scsq::exec::RunReport* last_report) {
   std::ostringstream os;
   scsq.engine().profile(*last_report).render_text(os);
   std::fputs(os.str().c_str(), stdout);
+}
+
+// Per-window rate table of the last statement (the \watch command).
+// Rates come from the telemetry sampler's windows; `series` selects
+// the counters summed into the printed rate (substring of the metric
+// key, e.g. "transport.link.bytes" or "sqep.items").
+void print_watch(scsq::Scsq& scsq, const std::string& series) {
+  const auto& windows = scsq.engine().sampler().windows();
+  if (windows.empty()) {
+    std::printf("-- watch: no sampler windows (query shorter than the interval?)\n");
+    return;
+  }
+  std::printf("-- watch: %zu window(s), series '%s'\n", windows.size(), series.c_str());
+  const bool bytes = series.find("bytes") != std::string::npos;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i == 20 && windows.size() > 25) {
+      std::printf("   ... (%zu more windows)\n", windows.size() - i);
+      break;
+    }
+    const auto& w = windows[i];
+    const double rate = w.counter_rate_sum(series);
+    if (bytes) {
+      std::printf("   [%10.6f, %10.6f) %12s/s\n", w.t_start, w.t_end,
+                  scsq::util::format_bytes(static_cast<std::uint64_t>(rate)).c_str());
+    } else {
+      std::printf("   [%10.6f, %10.6f) %12.6g /s\n", w.t_start, w.t_end, rate);
+    }
+  }
 }
 
 void print_report(const scsq::exec::RunReport& report, bool verbose) {
@@ -169,6 +204,8 @@ int main(int argc, char** argv) {
   if (trace_path != nullptr) scsq.machine().set_trace(&trace);
   scsq::exec::RunReport last_report;
   bool have_report = false;
+  bool watch_on = scsq.engine().sampler().enabled();  // SCSQ_SAMPLE_INTERVAL
+  std::string watch_series = "transport.link.bytes";
   const auto run_pending = [&](std::string& pending) {
     for (const auto& statement : scsq::scsql::parse_script(pending)) {
       if (statement.function) {
@@ -180,6 +217,7 @@ int main(int argc, char** argv) {
       last_report = scsq.engine().run_statement(statement);
       have_report = true;
       print_report(last_report, verbose);
+      if (watch_on) print_watch(scsq, watch_series);
     }
     pending.clear();
   };
@@ -216,6 +254,33 @@ int main(int argc, char** argv) {
       if (t == "\\profile") {
         run_pending(pending);
         print_profile(scsq, have_report ? &last_report : nullptr);
+        continue;
+      }
+      if (t.rfind("\\watch", 0) == 0 &&
+          (t.size() == 6 || t[6] == ' ' || t[6] == '\t')) {
+        run_pending(pending);
+        std::istringstream args(t.substr(6));
+        std::string word;
+        args >> word;
+        if (word == "off" || word == "0") {
+          scsq.engine().set_sample_interval(0.0);
+          watch_on = false;
+          std::printf("-- watch off\n");
+          continue;
+        }
+        char* end = nullptr;
+        const double interval = std::strtod(word.c_str(), &end);
+        if (word.empty() || end == nullptr || *end != '\0' || interval <= 0.0) {
+          std::printf("-- usage: \\watch <interval_s> [series] | \\watch off\n");
+          continue;
+        }
+        std::string series;
+        args >> series;
+        if (!series.empty()) watch_series = series;
+        scsq.engine().set_sample_interval(interval);
+        watch_on = true;
+        std::printf("-- watch on: %g s windows, series '%s'\n", interval,
+                    watch_series.c_str());
         continue;
       }
       if (t.rfind("\\explain analyze", 0) == 0) {
