@@ -50,15 +50,25 @@ int resolve_sim_lps(int configured) {
 /// sample_interval_s < 0 means "resolve from the environment":
 /// SCSQ_SAMPLE_INTERVAL if set to a positive number of simulated
 /// seconds, otherwise 0 (sampling off). Same write-back convention as
-/// resolve_batch_size.
+/// resolve_batch_size. Unlike the other knobs a malformed value is
+/// rejected, not defaulted: a typo'd interval silently disabling
+/// sampling would make a telemetry run lie by omission.
 double resolve_sample_interval(double configured) {
   if (configured >= 0.0) return configured;
-  if (const char* env = std::getenv("SCSQ_SAMPLE_INTERVAL")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && *end == '\0' && v > 0.0) return v;
+  const char* env = std::getenv("SCSQ_SAMPLE_INTERVAL");
+  if (env == nullptr || *env == '\0') return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0') {
+    throw Error(std::string("SCSQ_SAMPLE_INTERVAL must be a number of simulated "
+                            "seconds, got '") +
+                env + "'");
   }
-  return 0.0;
+  if (v <= 0.0) {
+    throw Error(std::string("SCSQ_SAMPLE_INTERVAL must be positive, got '") + env +
+                "' (unset the variable to disable sampling)");
+  }
+  return v;
 }
 
 }  // namespace
@@ -87,6 +97,13 @@ Engine::Engine(hw::Machine& machine, ExecOptions options)
                                                 options_.bgcc_poll_interval_s,
                                                 /*exclusive_nodes=*/true,
                                                 options_.node_selection);
+  // Monitor side channel + environment-registered monitor query
+  // (SCSQ_MONITOR pairs with SCSQ_SAMPLE_INTERVAL the way
+  // SCSQ_TIMESERIES_OUT does — without a sample interval it never fires).
+  if (const char* env = std::getenv("SCSQ_MONITOR_OUT")) monitor_out_path_ = env;
+  if (const char* env = std::getenv("SCSQ_MONITOR")) {
+    if (*env != '\0') register_monitor(env);
+  }
 }
 
 Engine::~Engine() = default;
@@ -99,6 +116,12 @@ void Engine::set_sample_interval(double interval_s) {
   // Pull-model metrics (network utilization, kernel perf, frame pool)
   // must be fresh in the registry at every window boundary.
   sampler_->add_publisher([this] { machine_->publish_metrics(); });
+  install_window_observer();
+}
+
+void Engine::install_window_observer() {
+  sampler_->set_window_observer(
+      [this](const obs::Sampler::Window& w, std::size_t i) { on_window(w, i); });
 }
 
 ClusterCoordinator& Engine::coordinator(const std::string& cluster) {
@@ -162,6 +185,9 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
   alloc_seqs_.clear();
   next_rp_id_ = 1;
   results_sink_ = &report.results;
+  monitor_alerts_.clear();
+  monitor_error_ = nullptr;
+  for (auto& m : monitors_) m.alerts_last_run = 0;
 
   auto& sim = machine_->sim();
   const double t0 = sim.now();
@@ -192,7 +218,14 @@ RunReport Engine::run_statement(const scsql::Statement& statement) {
   }
   results_sink_ = nullptr;
 
+  // Flush the monitor side channel before any error propagates: a run
+  // that died mid-statement still leaves its alerts on disk.
+  if (!monitor_out_path_.empty()) {
+    obs::append_alerts_file(monitor_out_path_, monitor_alerts_);
+  }
+
   if (error_) std::rethrow_exception(error_);
+  if (monitor_error_) std::rethrow_exception(monitor_error_);
   if (sim.live_root_tasks() > 0) {
     throw Error("query did not complete (deadlock or simulated-time limit exceeded)");
   }
@@ -314,6 +347,191 @@ obs::Profile Engine::profile(const RunReport& report) const {
     p.nodes.push_back(std::move(n));
   }
   return p;
+}
+
+// ---------------------------------------------------------------------
+// Introspection monitors (DESIGN.md §5.8)
+// ---------------------------------------------------------------------
+
+std::string Engine::register_monitor(const std::string& query_text) {
+  std::string text = query_text;
+  const std::size_t b = text.find_first_not_of(" \t\r\n");
+  const std::size_t e = text.find_last_not_of(" \t\r\n;");
+  if (b == std::string::npos || e == std::string::npos || b > e) {
+    throw Error("empty monitor query");
+  }
+  text = text.substr(b, e - b + 1);
+  scsql::Statement st = scsql::parse_statement(text + ";");
+  if (st.function || st.query == nullptr) {
+    throw Error("a monitor must be a query expression, not a function definition");
+  }
+  ExprPtr query = st.query;
+  if (query->kind == ExprKind::kSelect) {
+    // `select expr;` sugar: monitors are single expressions — binding
+    // clauses would need the client-manager pass, which spawns RPs.
+    const auto& sel = *query->select;
+    if (sel.exprs.size() != 1 || !sel.predicates.empty()) {
+      throw Error("a monitor must be a single expression (no from/where clauses)",
+                  sel.pos);
+    }
+    query = sel.exprs[0];
+  }
+
+  Monitor m;
+  m.name = "m" + std::to_string(next_monitor_id_++);
+  m.query_text = text;
+  m.query = std::move(query);
+  // Validate now, not at the first window: build and drain the plan over
+  // an empty feed. Build-time hooks reject extract()/receiver() (they
+  // need the network); the dry drain rejects plans that suspend.
+  obs::Sampler::Window dummy;
+  plan::IntrospectFeed feed;
+  feed.window = &dummy;
+  run_monitor(m, feed, /*dry_run=*/true);
+  m.alerts_last_run = 0;
+  monitors_.push_back(std::move(m));
+  return monitors_.back().name;
+}
+
+bool Engine::unregister_monitor(const std::string& name) {
+  for (auto it = monitors_.begin(); it != monitors_.end(); ++it) {
+    if (it->name == name) {
+      monitors_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Engine::MonitorInfo> Engine::monitors() const {
+  std::vector<MonitorInfo> out;
+  out.reserve(monitors_.size());
+  for (const auto& m : monitors_) {
+    out.push_back(MonitorInfo{m.name, m.query_text, m.alerts_last_run});
+  }
+  return out;
+}
+
+void Engine::add_window_listener(
+    std::function<void(const obs::Sampler::Window&, std::size_t)> fn) {
+  SCSQ_CHECK(fn != nullptr) << "window listener must be callable";
+  window_listeners_.push_back(std::move(fn));
+}
+
+std::vector<sim::plp::LpLiveSample> Engine::lp_samples(double t_end) const {
+  if (lp_live_source_) return lp_live_source_();
+  // Deterministic default: one row per partition LP. The engine's data
+  // plane executes sequentially (DESIGN.md §5.6), so there is no live
+  // plp::Runtime to sample — the row carries the partition shape and the
+  // window frontier, with the wall-clock-dependent fields at zero.
+  std::vector<sim::plp::LpLiveSample> out;
+  out.reserve(static_cast<std::size_t>(partition_.lp_count));
+  for (int lp = 0; lp < partition_.lp_count; ++lp) {
+    sim::plp::LpLiveSample s;
+    s.lp = lp;
+    s.horizon_s = t_end;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void Engine::on_window(const obs::Sampler::Window& window, std::size_t index) {
+  if (!monitors_.empty()) {
+    plan::IntrospectFeed feed;
+    feed.window = &window;
+    feed.window_index = index;
+    feed.lps = lp_samples(window.t_end);
+    for (auto& m : monitors_) {
+      try {
+        run_monitor(m, feed, /*dry_run=*/false);
+      } catch (...) {
+        // Deferred: run_statement rethrows after the workload tears
+        // down — a broken monitor must not corrupt the measured run.
+        if (!monitor_error_) monitor_error_ = std::current_exception();
+      }
+    }
+  }
+  for (const auto& fn : window_listeners_) fn(window, index);
+}
+
+void Engine::run_monitor(Monitor& monitor, const plan::IntrospectFeed& feed,
+                         bool dry_run) {
+  // Zero-perturbation contract: all NodeParams costs are zero, the CPU
+  // resource is private and uncontended, and batch_size is 1 (no fusion
+  // pass). Every awaitable the operator machinery reaches then completes
+  // inline — Resource::acquire with a free slot, delay_until(now) — so
+  // the plan is drained synchronously below by resuming each next() once
+  // and never schedules a simulator event. The measured workload's event
+  // order, tables and elapsed_s are byte-identical with monitors on or
+  // off.
+  hw::NodeParams zero;
+  zero.marshal_per_byte_s = 0.0;
+  zero.alloc_per_object_s = 0.0;
+  zero.gen_per_byte_s = 0.0;
+  zero.op_invoke_s = 0.0;
+  zero.flop_s = 0.0;
+  sim::Resource cpu(machine_->sim(), 1);
+  Env env;
+  plan::PlanContext ctx;
+  ctx.sim = &machine_->sim();
+  ctx.loc = hw::Location{hw::kFrontEnd, 0};
+  ctx.cpu = &cpu;
+  ctx.node = zero;
+  ctx.batch_size = 1;
+  ctx.introspect = &feed;
+  ctx.const_eval = [this, &env](const ExprPtr& e) { return eval_const(e, env, machine_); };
+  ctx.subscribe = [](const SpHandle&) -> transport::ReceiverDriver& {
+    throw Error("extract()/merge() are not available in monitor queries");
+  };
+  ctx.stream_source = [](const std::string& name) -> std::vector<std::vector<double>> {
+    throw Error("receiver('" + name + "') is not available in monitor queries");
+  };
+  plan::OperatorPtr root = plan::build_plan(monitor.query, ctx);
+
+  constexpr std::size_t kMaxRowsPerWindow = 65536;
+  auto* trace = machine_->trace();
+  std::size_t rows = 0;
+  while (true) {
+    if (rows >= kMaxRowsPerWindow) {
+      throw Error("monitor " + monitor.name + " produced more than " +
+                  std::to_string(kMaxRowsPerWindow) + " rows in one window");
+    }
+    auto task = root->next();
+    auto h = task.release();
+    h.resume();
+    if (!h.done()) {
+      h.destroy();
+      throw Error("monitor " + monitor.name +
+                  " suspended: monitor queries must stay on introspection "
+                  "streams (no gen_stream, network, or timed operators)");
+    }
+    auto& promise = h.promise();
+    if (promise.exception) {
+      const auto ex = promise.exception;
+      h.destroy();
+      std::rethrow_exception(ex);
+    }
+    SCSQ_CHECK(promise.value.has_value()) << "monitor plan finished without a value";
+    std::optional<Object> row = std::move(*promise.value);
+    h.destroy();
+    if (!row.has_value()) break;
+    if (!dry_run) {
+      obs::MonitorAlert alert;
+      alert.monitor = monitor.name;
+      alert.query = monitor.query_text;
+      alert.window = feed.window_index;
+      alert.t_start = feed.window->t_start;
+      alert.t_end = feed.window->t_end;
+      alert.row = rows;
+      alert.value = std::move(*row);
+      if (trace != nullptr) {
+        trace->instant("monitor:" + monitor.name, "alert", machine_->sim().now());
+      }
+      monitor_alerts_.push_back(std::move(alert));
+    }
+    ++rows;
+  }
+  if (!dry_run) monitor.alerts_last_run += rows;
 }
 
 // ---------------------------------------------------------------------

@@ -28,9 +28,11 @@
 #include "exec/coordinator.hpp"
 #include "exec/env.hpp"
 #include "hw/machine.hpp"
+#include "obs/monitor.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "plan/builder.hpp"
+#include "plan/introspect_ops.hpp"
 #include "scsql/parser.hpp"
 #include "transport/driver.hpp"
 #include "transport/links.hpp"
@@ -173,6 +175,54 @@ class Engine {
   /// Updates options().sample_interval_s.
   void set_sample_interval(double interval_s);
 
+  // --- introspection monitors (DESIGN.md §5.8) ---
+
+  /// A registered monitor, as reported by monitors().
+  struct MonitorInfo {
+    std::string name;
+    std::string query;
+    std::size_t alerts = 0;  ///< rows emitted during the last statement
+  };
+
+  /// Registers a continuous monitor query over the introspection streams
+  /// (system.metrics / system.gauges / system.rates / system.lp). The
+  /// query is parsed and plan-validated now (throws scsql::Error on
+  /// malformed or non-introspection queries) and then re-executed at
+  /// every sampler window boundary of every subsequent statement, as a
+  /// zero-duration read-only callback: the measured workload's tables
+  /// and elapsed_s are byte-identical with monitors on or off. Matched
+  /// rows become obs::MonitorAlert records (monitor_alerts(), the
+  /// SCSQ_MONITOR_OUT side channel, Chrome-trace instants). Requires a
+  /// positive sample interval to ever fire. Returns the assigned monitor
+  /// name ("m1", "m2", ...).
+  std::string register_monitor(const std::string& query_text);
+
+  /// Removes one monitor by name. Returns false if no such monitor.
+  bool unregister_monitor(const std::string& name);
+
+  /// The registered monitors with their last-statement alert counts.
+  std::vector<MonitorInfo> monitors() const;
+
+  /// Alerts collected during the last statement, in window order.
+  const std::vector<obs::MonitorAlert>& monitor_alerts() const {
+    return monitor_alerts_;
+  }
+
+  /// Registers an observer called after every sampler window, after the
+  /// monitors ran for it (the shell's live \watch display). Runs inside
+  /// the zero-duration sample callback: it must not advance simulated
+  /// time. Listeners persist across statements.
+  void add_window_listener(
+      std::function<void(const obs::Sampler::Window&, std::size_t)> fn);
+
+  /// Provider of per-LP live samples for the system.lp() source,
+  /// typically a sim::plp::Runtime::live_sample binding. Without one the
+  /// engine synthesizes one deterministic row per partition LP.
+  using LpLiveSource = std::function<std::vector<sim::plp::LpLiveSample>()>;
+  void set_lp_live_source(LpLiveSource source) {
+    lp_live_source_ = std::move(source);
+  }
+
  private:
   struct Rp {
     std::uint64_t id = 0;
@@ -217,6 +267,26 @@ class Engine {
   /// teardown of §2.2).
   void initiate_stop();
 
+  // --- monitor runner ---
+  struct Monitor {
+    std::string name;
+    std::string query_text;
+    scsql::ExprPtr query;
+    std::size_t alerts_last_run = 0;
+  };
+
+  /// Sampler window observer: runs every monitor over the window, then
+  /// the external window listeners.
+  void on_window(const obs::Sampler::Window& window, std::size_t index);
+
+  /// Builds and synchronously drains one monitor's plan over one feed.
+  /// Zero-perturbation: see DESIGN.md §5.8. With dry_run the rows are
+  /// discarded (register-time validation on an empty feed).
+  void run_monitor(Monitor& monitor, const plan::IntrospectFeed& feed, bool dry_run);
+
+  std::vector<sim::plp::LpLiveSample> lp_samples(double t_end) const;
+  void install_window_observer();
+
   hw::Machine* machine_;
   ExecOptions options_;
   hw::LpPartition partition_;  // RP -> LP affinity (options_.sim_lps)
@@ -235,6 +305,15 @@ class Engine {
   std::vector<catalog::Object>* results_sink_ = nullptr;
   bool stop_requested_ = false;
   std::exception_ptr error_;
+
+  std::vector<Monitor> monitors_;
+  std::vector<obs::MonitorAlert> monitor_alerts_;
+  std::vector<std::function<void(const obs::Sampler::Window&, std::size_t)>>
+      window_listeners_;
+  LpLiveSource lp_live_source_;
+  std::uint64_t next_monitor_id_ = 1;
+  std::string monitor_out_path_;        // SCSQ_MONITOR_OUT, "" = off
+  std::exception_ptr monitor_error_;    // first monitor failure of the run
 };
 
 }  // namespace scsq::exec

@@ -62,6 +62,10 @@ void Sampler::add_publisher(std::function<void()> fn) {
   publishers_.push_back(std::move(fn));
 }
 
+void Sampler::set_window_observer(std::function<void(const Window&, std::size_t)> fn) {
+  window_observer_ = std::move(fn);
+}
+
 void Sampler::add_log_histogram(std::string key, const LogHistogram* hist) {
   if (!enabled() || !active_) return;
   SCSQ_CHECK(hist != nullptr) << "sampler log-histogram must be non-null";
@@ -144,7 +148,12 @@ void Sampler::take_window(sim::Time t_end) {
   for (auto& th : log_hists_) {
     const LogHistogram window = th.hist->delta_since(th.baseline);
     th.baseline = *th.hist;
-    if (window.count() == 0) continue;
+    if (window.count() == 0) {
+      // Idle window: keep the entry so consumers see the series exists,
+      // with quantiles that write_jsonl emits as nulls.
+      w.histograms.push_back(HistWindow{th.key, 0, 0.0, 0.0, 0.0, 0.0});
+      continue;
+    }
     w.histograms.push_back(HistWindow{th.key, window.count(), window.mean(),
                                       window.p50(), window.p95(), window.p99()});
   }
@@ -169,6 +178,7 @@ void Sampler::take_window(sim::Time t_end) {
                     static_cast<double>(sim_.queue_depth()));
   }
   windows_.push_back(std::move(w));
+  if (window_observer_) window_observer_(windows_.back(), windows_.size() - 1);
 }
 
 void Sampler::write_jsonl(std::ostream& os) const {
@@ -202,9 +212,16 @@ void Sampler::write_jsonl(std::ostream& os) const {
       first = false;
       os << '"';
       write_json_escaped(os, h.key);
-      os << "\":{\"count\":" << h.count << ",\"mean\":" << h.mean
-         << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99
-         << '}';
+      if (h.count == 0) {
+        // No observations: there is no meaningful quantile, and 0.0
+        // would be indistinguishable from a genuinely-zero latency.
+        os << "\":{\"count\":0,\"mean\":null,\"p50\":null,\"p95\":null,"
+           << "\"p99\":null}";
+      } else {
+        os << "\":{\"count\":" << h.count << ",\"mean\":" << h.mean
+           << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99
+           << '}';
+      }
     }
     os << "}}\n";
   }

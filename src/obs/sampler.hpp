@@ -71,7 +71,11 @@ class Sampler {
     double value = 0.0;
   };
 
-  /// Per-window quantiles of one registered LogHistogram.
+  /// Per-window quantiles of one registered LogHistogram. A window with
+  /// no observations still produces an entry (count == 0) so consumers
+  /// can tell "link idle this window" from "link not registered"; its
+  /// quantile fields are meaningless and write_jsonl emits them as JSON
+  /// nulls.
   struct HistWindow {
     std::string key;
     std::uint64_t count = 0;
@@ -86,7 +90,7 @@ class Sampler {
     double t_end = 0.0;
     std::vector<CounterSample> counters;    // nonzero deltas only
     std::vector<GaugeSample> gauges;        // every registered gauge
-    std::vector<HistWindow> histograms;     // nonzero-count windows only
+    std::vector<HistWindow> histograms;     // every registered histogram
 
     /// Sum of `rate` over counters whose key contains `substr`
     /// (substring match, same convention as the \metrics filter).
@@ -103,6 +107,14 @@ class Sampler {
   /// model metrics (Machine::publish_metrics and friends) are fresh in
   /// the Registry when the window closes. Survives begin()/finish().
   void add_publisher(std::function<void()> fn);
+
+  /// Installs the window observer: called synchronously right after each
+  /// window is appended to windows(), with the window and its index.
+  /// Runs on the simulator thread inside the zero-duration sample
+  /// callback, so the observer must not advance simulated time. One
+  /// observer only (the engine fans out to monitors and listeners);
+  /// survives begin()/finish(). Pass nullptr to clear.
+  void set_window_observer(std::function<void(const Window&, std::size_t)> fn);
 
   /// Registers a LogHistogram for per-window quantile extraction under
   /// `key`. The pointer must stay valid until finish() — which clears
@@ -148,6 +160,7 @@ class Sampler {
   Registry& registry_;
   Options opts_;
   sim::Trace* trace_ = nullptr;
+  std::function<void(const Window&, std::size_t)> window_observer_;
   std::vector<std::function<void()>> publishers_;
   std::vector<TrackedHist> log_hists_;
   std::vector<std::uint64_t> prev_counters_;  // by Registry entry index

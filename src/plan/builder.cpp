@@ -1,6 +1,7 @@
 #include "plan/builder.hpp"
 
 #include "plan/fusion.hpp"
+#include "plan/introspect_ops.hpp"
 #include "plan/lroad_ops.hpp"
 #include "plan/operators.hpp"
 #include "plan/window_ops.hpp"
@@ -91,6 +92,39 @@ OperatorPtr build_grep(const scsql::Expr& call, PlanContext& ctx) {
     throw Error("grep() arguments must be strings", call.pos);
   }
   return std::make_unique<GrepOp>(ctx, pattern.as_str(), file.as_str());
+}
+
+/// system.metrics/gauges/rates([pattern]) and system.lp(): introspection
+/// sources, legal only inside a monitor plan (ctx.introspect set by
+/// Engine::register_monitor's runner).
+OperatorPtr build_introspect(const scsql::Expr& call, PlanContext& ctx) {
+  if (ctx.introspect == nullptr) {
+    throw Error(call.name + "() is an introspection source and is only available in "
+                "monitor queries (\\monitor or Engine::register_monitor)",
+                call.pos);
+  }
+  if (call.name == "system.lp") {
+    if (!call.args.empty()) throw Error("system.lp() takes no arguments", call.pos);
+    return std::make_unique<LpStreamOp>(ctx);
+  }
+  std::string pattern;
+  if (call.args.size() > 1) {
+    throw Error(call.name + "([pattern]) takes at most one argument", call.pos);
+  }
+  if (call.args.size() == 1) {
+    Object p = ctx.const_eval(call.args[0]);
+    if (p.kind() != Kind::kStr) {
+      throw Error(call.name + "() pattern must be a string", call.pos);
+    }
+    pattern = p.as_str();
+  }
+  if (call.name == "system.metrics") {
+    return std::make_unique<MetricsStreamOp>(ctx, std::move(pattern));
+  }
+  if (call.name == "system.gauges") {
+    return std::make_unique<GaugeStreamOp>(ctx, std::move(pattern));
+  }
+  return std::make_unique<RateStreamOp>(ctx, std::move(pattern));
 }
 
 }  // namespace
@@ -226,6 +260,21 @@ OperatorPtr build_plan(const ExprPtr& expr, PlanContext& ctx) {
     if (expr->args.size() != 1) throw Error(name + "() takes one argument", expr->pos);
     auto fn = name == "abs" ? ScalarMapOp::Fn::kAbs : ScalarMapOp::Fn::kSqrt;
     return std::make_unique<ScalarMapOp>(ctx, fn, build_plan(expr->args[0], ctx));
+  }
+  if (name == "system.metrics" || name == "system.gauges" || name == "system.rates" ||
+      name == "system.lp") {
+    return build_introspect(*expr, ctx);
+  }
+  if (name == "above") {
+    if (expr->args.size() != 2) {
+      throw Error("above(stream, threshold) takes two arguments", expr->pos);
+    }
+    Object threshold = ctx.const_eval(expr->args[1]);
+    if (threshold.kind() != Kind::kInt && threshold.kind() != Kind::kReal) {
+      throw Error("above() threshold must be numeric", expr->pos);
+    }
+    return std::make_unique<AboveOp>(ctx, build_plan(expr->args[0], ctx),
+                                     threshold.as_number());
   }
   if (name == "receiver") {
     if (expr->args.size() != 1) throw Error("receiver() takes one argument", expr->pos);

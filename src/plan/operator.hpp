@@ -28,6 +28,10 @@ namespace scsq::plan {
 /// Batch of stream objects flowing between operators (see catalog/batch.hpp).
 using ItemBatch = catalog::ItemBatch;
 
+/// One telemetry window handed to an introspection (monitor) plan; see
+/// plan/introspect_ops.hpp. Null outside monitor contexts.
+struct IntrospectFeed;
+
 /// Everything an operator needs about the RP it runs in. Owned by the
 /// RP; must outlive the plan.
 struct PlanContext {
@@ -39,6 +43,12 @@ struct PlanContext {
   /// (the exact pre-batching pipeline, and no fusion pass); the engine
   /// plumbs ExecOptions::batch_size / SCSQ_BATCH_SIZE here.
   std::size_t batch_size = 1;
+
+  /// Introspection feed for monitor queries over system.metrics /
+  /// system.gauges / system.rates / system.lp. Non-null only inside a
+  /// monitor plan context (Engine::register_monitor); the system.*
+  /// sources refuse to build without it.
+  const IntrospectFeed* introspect = nullptr;
 
   /// Evaluates a non-streaming expression (literal, captured variable,
   /// arithmetic, iota, bag constructor) to a value. Supplied by the

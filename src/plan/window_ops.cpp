@@ -143,4 +143,24 @@ sim::Task<std::optional<Object>> ScalarMapOp::next() {
   co_return std::nullopt;  // unreachable
 }
 
+// ---------------------------------------------------------------------
+// AboveOp
+// ---------------------------------------------------------------------
+
+AboveOp::AboveOp(PlanContext& ctx, OperatorPtr child, double threshold)
+    : ctx_(&ctx), child_(std::move(child)), threshold_(threshold) {}
+
+sim::Task<std::optional<Object>> AboveOp::next() {
+  while (true) {
+    auto obj = co_await child_->next();
+    if (!obj) co_return std::nullopt;
+    if (obj->kind() != Kind::kInt && obj->kind() != Kind::kReal) {
+      throw scsql::Error("above() expects a numeric stream (got " +
+                         std::string(catalog::kind_name(obj->kind())) + ")");
+    }
+    co_await ctx_->cpu->use(ctx_->node.op_invoke_s);
+    if (obj->as_number() > threshold_) co_return obj;
+  }
+}
+
 }  // namespace scsq::plan

@@ -11,6 +11,7 @@
 //   bagsum/bagavg/bagmax/bagmin/bagcount(s)
 //                        per-bag aggregates over a stream of bags
 //   abs/sqrtv(s)         per-element scalar maps over numeric streams
+//   above(s, x)          threshold filter: numeric elements > x pass
 //
 // Windows operate over any object kind; the bag aggregates require
 // numeric elements (int or real).
@@ -70,6 +71,22 @@ class ScalarMapOp final : public Operator {
   PlanContext* ctx_;
   Fn fn_;
   OperatorPtr child_;
+};
+
+/// Threshold filter over a numeric stream: elements strictly greater
+/// than the threshold pass; everything else is dropped. The threshold
+/// grep of monitor queries (above(system.rates(...), limit)), but a
+/// regular stream operator usable in any plan.
+class AboveOp final : public Operator {
+ public:
+  AboveOp(PlanContext& ctx, OperatorPtr child, double threshold);
+  sim::Task<std::optional<catalog::Object>> next() override;
+  std::string name() const override { return "above"; }
+
+ private:
+  PlanContext* ctx_;
+  OperatorPtr child_;
+  double threshold_;
 };
 
 }  // namespace scsq::plan

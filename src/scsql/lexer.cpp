@@ -110,8 +110,20 @@ Token Lexer::next() {
 
   if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
     std::string word;
-    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
-      word.push_back(advance());
+    // Identifiers are [alpha_][alnum_]*, plus '.'-joined segments for
+    // namespaced call names (system.metrics). The dot is consumed only
+    // when it starts another identifier segment, so `count(s).` still
+    // reports the stray dot instead of silently eating it.
+    while (!at_end()) {
+      const char p = peek();
+      if (std::isalnum(static_cast<unsigned char>(p)) || p == '_') {
+        word.push_back(advance());
+      } else if (p == '.' && (std::isalpha(static_cast<unsigned char>(peek(1))) ||
+                              peek(1) == '_')) {
+        word.push_back(advance());
+      } else {
+        break;
+      }
     }
     auto lower = util::to_lower(word);
     auto it = keywords().find(lower);

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -208,8 +209,50 @@ TEST(Sampler, LogHistogramWindowQuantiles) {
   EXPECT_EQ(w[0].histograms[0].key, "link.lat");
   EXPECT_EQ(w[0].histograms[0].count, 100u);  // the 1.0 baseline is not counted
   EXPECT_NEAR(w[0].histograms[0].p50, 1e-3, 1e-3 * 0.4);
-  // Empty window: the histogram entry is omitted entirely.
-  EXPECT_TRUE(w[1].histograms.empty());
+  // Empty window: the entry stays (the series exists, the link was just
+  // idle this window) with count 0 — the JSONL export renders its
+  // quantiles as nulls.
+  ASSERT_EQ(w[1].histograms.size(), 1u);
+  EXPECT_EQ(w[1].histograms[0].key, "link.lat");
+  EXPECT_EQ(w[1].histograms[0].count, 0u);
+}
+
+TEST(Sampler, EmptyHistogramWindowExportsNullQuantiles) {
+  sim::Simulator sim;
+  Registry registry;
+  LogHistogram lat;
+  Sampler sampler(sim, registry, {1.0});
+  sampler.begin(0.0, nullptr);
+  sampler.add_log_histogram("link.lat", &lat);
+  sim.call_at(0.5, [&] { lat.observe(1e-3); });
+  sim.call_at(1.5, [&] { sampler.finish(); });  // second window: no samples
+  sim.run();
+  std::ostringstream os;
+  sampler.write_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  {
+    const auto doc = util::json::parse(line);
+    const auto* hist = doc.find("histograms")->find("link.lat");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->find("count")->as_number(), 1.0);
+    EXPECT_TRUE(hist->find("p50")->is_number());
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  {
+    // count == 0 => explicit nulls, distinguishable from a real 0.0
+    // latency; the line still parses as strict JSON.
+    const auto doc = util::json::parse(line);
+    const auto* hist = doc.find("histograms")->find("link.lat");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->find("count")->as_number(), 0.0);
+    for (const char* q : {"mean", "p50", "p95", "p99"}) {
+      const auto* v = hist->find(q);
+      ASSERT_NE(v, nullptr) << q;
+      EXPECT_TRUE(v->is_null()) << q;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -306,6 +349,26 @@ TEST(SamplerInvariance, EngineProducesWindowsAndLinkQuantiles) {
   // ...and the last window ends exactly at the query's last event: the
   // final partial window is taken at finish() inside the run.
   EXPECT_LE(sampler.windows().back().t_end, report.elapsed_s + report.setup_s + 1e-9);
+}
+
+TEST(SamplerInvariance, BadSampleIntervalEnvRejected) {
+  // A typo'd SCSQ_SAMPLE_INTERVAL must fail loudly at engine
+  // construction, not silently disable sampling: zero, negative and
+  // non-numeric values are all rejected.
+  for (const char* bad : {"abc", "0", "-1", "0.0", "1x", "1e"}) {
+    SCOPED_TRACE(bad);
+    ::setenv("SCSQ_SAMPLE_INTERVAL", bad, 1);
+    ScsqConfig config;  // sample_interval_s = -1: resolve from the env
+    EXPECT_THROW(Scsq scsq(config), scsql::Error);
+  }
+  ::setenv("SCSQ_SAMPLE_INTERVAL", "0.5", 1);
+  {
+    ScsqConfig config;
+    Scsq scsq(config);
+    EXPECT_TRUE(scsq.engine().sampler().enabled());
+    EXPECT_DOUBLE_EQ(scsq.engine().options().sample_interval_s, 0.5);
+  }
+  ::unsetenv("SCSQ_SAMPLE_INTERVAL");
 }
 
 TEST(SamplerInvariance, SetSampleIntervalRearmsBetweenStatements) {

@@ -162,6 +162,31 @@ rc=0
 [[ "$rc" == "1" ]] || { echo "injected time-series regression not flagged (exit $rc)"; exit 1; }
 echo "   --timeseries: clean analyze + self-diff exit 0, injected regression exit 1"
 
+# Introspection-monitor smoke: a continuous SCSQL threshold monitor over
+# system.metrics must (a) leave bench stdout byte-identical — monitors
+# run as zero-duration read-only callbacks at sampler window boundaries
+# (DESIGN.md §5.8) — including at SCSQ_SIM_LPS=4 x SCSQ_BATCH_SIZE=1,
+# (b) emit at least one alert to SCSQ_MONITOR_OUT, and (c) produce a
+# JSONL alert stream that validates under metrics_diff --alerts.
+echo "== introspection monitor alerts =="
+MONITOR_Q="above(sum(system.rates('transport.link.bytes')), 1)"
+SCSQ_SAMPLE_INTERVAL=0.05 SCSQ_MONITOR="$MONITOR_Q" \
+  SCSQ_MONITOR_OUT="$TMPD/fig6_alerts.jsonl" \
+  "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_monitored.txt"
+cmp "$TMPD/fig6_plain.txt" "$TMPD/fig6_monitored.txt" || {
+  echo "SCSQ_MONITOR changed bench stdout"; exit 1; }
+[[ -s "$TMPD/fig6_alerts.jsonl" ]] || { echo "monitor emitted no alerts"; exit 1; }
+validate_json "$TMPD/fig6_alerts.jsonl"
+SCSQ_SIM_LPS=4 SCSQ_BATCH_SIZE=1 \
+  "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_lps4b1.txt"
+SCSQ_SIM_LPS=4 SCSQ_BATCH_SIZE=1 SCSQ_SAMPLE_INTERVAL=0.05 SCSQ_MONITOR="$MONITOR_Q" \
+  "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_lps4b1_mon.txt"
+cmp "$TMPD/fig6_lps4b1.txt" "$TMPD/fig6_lps4b1_mon.txt" || {
+  echo "SCSQ_MONITOR x SCSQ_SIM_LPS x SCSQ_BATCH_SIZE changed bench stdout"; exit 1; }
+"$BUILD/tools/metrics_diff" --alerts "$TMPD/fig6_alerts.jsonl"
+echo "   stdout byte-identical monitor on/off (also at lps=4 batch=1);" \
+     "$(wc -l < "$TMPD/fig6_alerts.jsonl") alert(s) validated"
+
 # Conservative-LP runtime smoke: the benchmark aborts on any LP-count
 # determinism violation (checksum vs the sequential run), so one fast
 # shot doubles as a correctness gate.
@@ -176,8 +201,11 @@ echo "   --timeseries: clean analyze + self-diff exit 0, injected regression exi
 if echo 'int main(){}' | c++ -x c++ -fsanitize=thread -o /dev/null - 2> /dev/null; then
   echo "== plp_test under ThreadSanitizer =="
   cmake -B "$BUILD-tsan" -S . -DSCSQ_TSAN=ON > /dev/null
-  cmake --build "$BUILD-tsan" -j"$(nproc)" --target plp_test > /dev/null
+  cmake --build "$BUILD-tsan" -j"$(nproc)" --target plp_test monitor_test > /dev/null
   "$BUILD-tsan/tests/plp_test"
+  # Monitor alert files use the shared truncate-once side-channel mutex;
+  # run the monitor suite under TSAN alongside the LP runtime.
+  "$BUILD-tsan/tests/monitor_test"
 else
   echo "== skipping TSAN pass (toolchain lacks ThreadSanitizer) =="
 fi
@@ -189,8 +217,13 @@ fi
 if echo 'int main(){}' | c++ -x c++ -fsanitize=address -o /dev/null - 2> /dev/null; then
   echo "== transport_test + batch pipeline under AddressSanitizer =="
   cmake -B "$BUILD-asan" -S . -DSCSQ_ASAN=ON > /dev/null
-  cmake --build "$BUILD-asan" -j"$(nproc)" --target transport_test bench_kernels > /dev/null
+  cmake --build "$BUILD-asan" -j"$(nproc)" \
+    --target transport_test monitor_test bench_kernels > /dev/null
   "$BUILD-asan/tests/transport_test"
+  # Monitor plans are driven by manual coroutine resumption (release/
+  # resume/destroy); run the monitor suite under ASAN to catch frame
+  # lifetime mistakes.
+  "$BUILD-asan/tests/monitor_test"
   # Batched operator pulls recycle ItemBatch slots across frames; run the
   # pipeline microbenches under ASAN to catch use-after-recycle there.
   "$BUILD-asan/bench/bench_kernels" \

@@ -60,6 +60,16 @@
 //     steady-state mean rates; fail (exit 1) when a point's steady
 //     rate drops below old*(1-threshold). Identical inputs exit 0.
 //
+//   metrics_diff --alerts ALERTS.jsonl
+//     Validates and summarizes a monitor-alert stream (SCSQ_MONITOR_OUT
+//     JSONL, obs::write_alerts_jsonl shape). Per record: the monitor
+//     name, query, numeric window index and row, window bounds with
+//     t_start < t_end, and a "value" member must all be present (exit 1
+//     on violation; no cross-record window monotonicity is required —
+//     appended multi-run files restart their indices). The summary
+//     gives per-monitor alert counts, distinct windows, and the fired
+//     time range. Exit 2 when the file holds no alert records.
+//
 // Exit codes: 0 ok, 1 regression/violation found, 2 usage/parse error,
 // 3 (--check only) measurement lacking a "seed" key with no regression.
 #include <algorithm>
@@ -69,6 +79,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -551,6 +562,82 @@ int run_timeseries_diff(const std::string& old_path, const std::string& new_path
   return 0;
 }
 
+// --- monitor-alert stream validation (SCSQ_MONITOR_OUT) ---
+
+/// A monitor-alert record: the obs::write_alerts_jsonl shape.
+bool is_alert_record(const Value& v) {
+  return v.is_object() && v.find("alert") != nullptr && v.find("monitor") != nullptr;
+}
+
+int run_alerts(const std::string& path) {
+  const Value doc = parse_file(path);
+  std::vector<const Value*> records;
+  if (doc.is_array()) {
+    for (const auto& item : doc.as_array()) {
+      if (is_alert_record(item)) records.push_back(&item);
+    }
+  } else if (is_alert_record(doc)) {
+    records.push_back(&doc);
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "metrics_diff: %s: no monitor alerts found\n", path.c_str());
+    return 2;
+  }
+
+  struct MonitorSummary {
+    std::size_t alerts = 0;
+    std::set<long> windows;
+    double first_t_end = 0.0;
+    double last_t_end = 0.0;
+    std::string query;
+  };
+  std::map<std::string, MonitorSummary> monitors;
+  int violations = 0;
+  std::size_t n = 0;
+  for (const Value* rec : records) {
+    ++n;
+    const Value* monitor = rec->find("monitor");
+    const Value* window = rec->find("window");
+    const Value* t_start = rec->find("t_start");
+    const Value* t_end = rec->find("t_end");
+    const Value* row = rec->find("row");
+    const Value* value = rec->find("value");
+    const Value* query = rec->find("query");
+    if (monitor == nullptr || !monitor->is_string() || window == nullptr ||
+        !window->is_number() || row == nullptr || !row->is_number() ||
+        query == nullptr || !query->is_string() || value == nullptr) {
+      std::printf("VIOLATION %s alert %zu: missing/mistyped member "
+                  "(monitor/window/row/value/query)\n",
+                  path.c_str(), n);
+      ++violations;
+      continue;
+    }
+    if (t_start == nullptr || !t_start->is_number() || t_end == nullptr ||
+        !t_end->is_number() || !(t_start->as_number() < t_end->as_number())) {
+      std::printf("VIOLATION %s alert %zu: bad window bounds (t_start must be < t_end)\n",
+                  path.c_str(), n);
+      ++violations;
+      continue;
+    }
+    auto& s = monitors[monitor->as_string()];
+    if (s.alerts == 0) {
+      s.first_t_end = t_end->as_number();
+      s.query = query->as_string();
+    }
+    s.last_t_end = t_end->as_number();
+    ++s.alerts;
+    s.windows.insert(static_cast<long>(window->as_number()));
+  }
+  for (const auto& [name, s] : monitors) {
+    std::printf("monitor %s: %zu alert(s) over %zu window(s), t_end %.6g..%.6g s: %s\n",
+                name.c_str(), s.alerts, s.windows.size(), s.first_t_end, s.last_t_end,
+                s.query.c_str());
+  }
+  std::printf("%s: %zu alert(s), %zu monitor(s), %d violation(s)\n", path.c_str(),
+              records.size(), monitors.size(), violations);
+  return violations > 0 ? 1 : 0;
+}
+
 void print_usage(std::FILE* to) {
   std::fprintf(to,
                "usage: metrics_diff [--threshold=FRACTION] --check BASELINE.json\n"
@@ -561,6 +648,7 @@ void print_usage(std::FILE* to) {
                "       metrics_diff [--series=SUB] --timeseries SERIES.jsonl\n"
                "       metrics_diff [--threshold=FRACTION] [--series=SUB] --timeseries "
                "OLD.jsonl NEW.jsonl\n"
+               "       metrics_diff --alerts ALERTS.jsonl\n"
                "\n"
                "  --threshold=F   regression tolerance, 0 <= F < 1 (default 0.2).\n"
                "                  diff/check: flag drops below old*(1-F);\n"
@@ -577,6 +665,8 @@ void print_usage(std::FILE* to) {
                "                  drops below old*(1-threshold).\n"
                "  --series=SUB    timeseries mode: counters whose key contains SUB form\n"
                "                  the primary rate (default 'transport.link.bytes')\n"
+               "  --alerts        validate and summarize a monitor-alert stream\n"
+               "                  (SCSQ_MONITOR_OUT JSONL)\n"
                "  --help          print this help and exit 0\n"
                "\n"
                "exit codes:\n"
@@ -602,6 +692,7 @@ int main(int argc, char** argv) {
   bool check_profile = false;
   bool profile_diff = false;
   bool timeseries = false;
+  bool alerts = false;
   std::string series = "transport.link.bytes";
   std::string filter;
   long top = -1;
@@ -648,13 +739,16 @@ int main(int argc, char** argv) {
       profile_diff = true;
     } else if (arg == "--timeseries") {
       timeseries = true;
+    } else if (arg == "--alerts") {
+      alerts = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
     } else {
       files.push_back(arg);
     }
   }
-  if (check + check_profile + profile_diff + timeseries > 1) usage();
+  if (check + check_profile + profile_diff + timeseries + alerts > 1) usage();
+  if (alerts && files.size() == 1) return run_alerts(files[0]);
   if (check && files.size() == 1) return run_check(files[0], threshold);
   if (check_profile && files.size() == 1) return run_check_profile(files[0]);
   if (profile_diff && files.size() == 2) {
@@ -664,7 +758,8 @@ int main(int argc, char** argv) {
   if (timeseries && files.size() == 2) {
     return run_timeseries_diff(files[0], files[1], series, threshold);
   }
-  if (!check && !check_profile && !profile_diff && !timeseries && files.size() == 2) {
+  if (!check && !check_profile && !profile_diff && !timeseries && !alerts &&
+      files.size() == 2) {
     return run_diff(files[0], files[1], threshold, filter, top);
   }
   usage();

@@ -32,17 +32,41 @@
 //   \profile   print the EXPLAIN ANALYZE report of the last query.
 //   \watch <interval_s> [series]
 //              arm the sim-time telemetry sampler: subsequent queries
-//              print a per-window rate table (windows of <interval_s>
+//              print one rate line per window (windows of <interval_s>
 //              simulated seconds) for counters whose key contains
-//              `series` (default transport.link.bytes). "\watch off"
+//              `series` (default transport.link.bytes). Lines are
+//              flushed as each window closes, so piping through
+//              `tail -f` (or watching a redirected file) shows the run
+//              live; Ctrl-C ends the shell cleanly mid-run. "\watch off"
 //              disarms. Sampling is observational: query results and
 //              timings are unchanged (DESIGN.md §5.7).
+//   \monitor <query>
+//              register a continuous introspection query (DESIGN.md
+//              §5.8) over system.metrics / system.gauges / system.rates
+//              / system.lp; it runs at every sampler window boundary of
+//              subsequent statements, and matched rows are reported
+//              after each statement (and appended to SCSQ_MONITOR_OUT
+//              as JSONL when set). Requires an armed sampler (\watch or
+//              SCSQ_SAMPLE_INTERVAL) to ever fire. Monitors are
+//              zero-perturbation: results and timings are byte-identical
+//              with monitors on or off.
+//   \monitors  list registered monitors with their last-statement alert
+//              counts.
+//   \unmonitor [name]
+//              remove one monitor by name, or all monitors.
+//
+// Environment: SCSQ_SAMPLE_INTERVAL pre-arms the sampler, SCSQ_MONITOR
+// pre-registers a monitor query, SCSQ_MONITOR_OUT is the alert JSONL
+// side channel.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 #include "core/scsq.hpp"
 #include "sim/trace.hpp"
@@ -53,6 +77,16 @@ namespace {
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* v = std::getenv(name);
   return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+// Ctrl-C mid-run: emit a newline so a partial \watch line does not run
+// into the prompt, then exit with the conventional 128+SIGINT status.
+// Only async-signal-safe calls here — live-watch lines are flushed per
+// window, so _exit() loses at most the line being built.
+void on_sigint(int) {
+  const char msg[] = "\n-- interrupted\n";
+  ::write(STDOUT_FILENO, msg, sizeof(msg) - 1);
+  ::_exit(130);
 }
 
 void print_rp_table(const scsq::exec::RunReport& report) {
@@ -105,32 +139,46 @@ void print_profile(scsq::Scsq& scsq, const scsq::exec::RunReport* last_report) {
   std::fputs(os.str().c_str(), stdout);
 }
 
-// Per-window rate table of the last statement (the \watch command).
-// Rates come from the telemetry sampler's windows; `series` selects
+// One live \watch line per sampler window. Called from the engine's
+// window listener as each window closes (inside the zero-duration
+// sample callback — host-side printing only, the simulation clock is
+// untouched) and flushed immediately, so redirected output can be
+// followed with `tail -f` while the statement runs. `series` selects
 // the counters summed into the printed rate (substring of the metric
 // key, e.g. "transport.link.bytes" or "sqep.items").
-void print_watch(scsq::Scsq& scsq, const std::string& series) {
+void print_watch_window(const scsq::obs::Sampler::Window& w, const std::string& series) {
+  const double rate = w.counter_rate_sum(series);
+  if (series.find("bytes") != std::string::npos) {
+    std::printf("   [%10.6f, %10.6f) %12s/s\n", w.t_start, w.t_end,
+                scsq::util::format_bytes(static_cast<std::uint64_t>(rate)).c_str());
+  } else {
+    std::printf("   [%10.6f, %10.6f) %12.6g /s\n", w.t_start, w.t_end, rate);
+  }
+  std::fflush(stdout);
+}
+
+void print_watch_summary(scsq::Scsq& scsq, const std::string& series) {
   const auto& windows = scsq.engine().sampler().windows();
   if (windows.empty()) {
     std::printf("-- watch: no sampler windows (query shorter than the interval?)\n");
     return;
   }
   std::printf("-- watch: %zu window(s), series '%s'\n", windows.size(), series.c_str());
-  const bool bytes = series.find("bytes") != std::string::npos;
-  for (std::size_t i = 0; i < windows.size(); ++i) {
-    if (i == 20 && windows.size() > 25) {
-      std::printf("   ... (%zu more windows)\n", windows.size() - i);
-      break;
-    }
-    const auto& w = windows[i];
-    const double rate = w.counter_rate_sum(series);
-    if (bytes) {
-      std::printf("   [%10.6f, %10.6f) %12s/s\n", w.t_start, w.t_end,
-                  scsq::util::format_bytes(static_cast<std::uint64_t>(rate)).c_str());
-    } else {
-      std::printf("   [%10.6f, %10.6f) %12.6g /s\n", w.t_start, w.t_end, rate);
-    }
+}
+
+// Post-statement monitor summary: per-monitor alert counts for the
+// statement that just ran (the alert rows themselves go to
+// SCSQ_MONITOR_OUT).
+void print_monitor_summary(scsq::Scsq& scsq) {
+  const auto monitors = scsq.engine().monitors();
+  if (monitors.empty()) return;
+  std::size_t total = 0;
+  for (const auto& m : monitors) total += m.alerts;
+  std::printf("-- monitors: %zu alert(s)", total);
+  for (const auto& m : monitors) {
+    std::printf(" %s=%zu", m.name.c_str(), m.alerts);
   }
+  std::printf("\n");
 }
 
 void print_report(const scsq::exec::RunReport& report, bool verbose) {
@@ -198,6 +246,8 @@ int main(int argc, char** argv) {
   }
   const bool verbose = env_u64("SCSQ_VERBOSE", 0) != 0;
 
+  std::signal(SIGINT, on_sigint);
+
   scsq::Scsq scsq(config);
   scsq::sim::Trace trace;
   const char* trace_path = std::getenv("SCSQ_TRACE");
@@ -206,6 +256,11 @@ int main(int argc, char** argv) {
   bool have_report = false;
   bool watch_on = scsq.engine().sampler().enabled();  // SCSQ_SAMPLE_INTERVAL
   std::string watch_series = "transport.link.bytes";
+  // Live \watch: one flushed line per window, as the run progresses.
+  scsq.engine().add_window_listener(
+      [&](const scsq::obs::Sampler::Window& w, std::size_t) {
+        if (watch_on) print_watch_window(w, watch_series);
+      });
   const auto run_pending = [&](std::string& pending) {
     for (const auto& statement : scsq::scsql::parse_script(pending)) {
       if (statement.function) {
@@ -217,7 +272,8 @@ int main(int argc, char** argv) {
       last_report = scsq.engine().run_statement(statement);
       have_report = true;
       print_report(last_report, verbose);
-      if (watch_on) print_watch(scsq, watch_series);
+      if (watch_on) print_watch_summary(scsq, watch_series);
+      print_monitor_summary(scsq);
     }
     pending.clear();
   };
@@ -281,6 +337,53 @@ int main(int argc, char** argv) {
         watch_on = true;
         std::printf("-- watch on: %g s windows, series '%s'\n", interval,
                     watch_series.c_str());
+        continue;
+      }
+      if (t.rfind("\\monitors", 0) == 0 && (t.size() == 9 || t[9] == ' ')) {
+        run_pending(pending);
+        const auto monitors = scsq.engine().monitors();
+        if (monitors.empty()) {
+          std::printf("-- no monitors registered\n");
+          continue;
+        }
+        for (const auto& m : monitors) {
+          std::printf("-- monitor %s (%zu alert(s) last statement): %s\n",
+                      m.name.c_str(), m.alerts, m.query.c_str());
+        }
+        continue;
+      }
+      if (t.rfind("\\unmonitor", 0) == 0 && (t.size() == 10 || t[10] == ' ')) {
+        run_pending(pending);
+        const std::string name = trimmed(t.substr(10));
+        if (name.empty()) {
+          for (const auto& m : scsq.engine().monitors()) {
+            scsq.engine().unregister_monitor(m.name);
+          }
+          std::printf("-- all monitors removed\n");
+        } else if (scsq.engine().unregister_monitor(name)) {
+          std::printf("-- monitor %s removed\n", name.c_str());
+        } else {
+          std::printf("-- no monitor named '%s'\n", name.c_str());
+        }
+        continue;
+      }
+      if (t.rfind("\\monitor", 0) == 0 && (t.size() == 8 || t[8] == ' ')) {
+        run_pending(pending);
+        const std::string query = trimmed(t.substr(8));
+        if (query.empty()) {
+          std::printf("-- usage: \\monitor <introspection query>\n");
+          continue;
+        }
+        try {
+          const std::string name = scsq.engine().register_monitor(query);
+          std::printf("-- monitor %s registered: %s\n", name.c_str(), query.c_str());
+          if (!scsq.engine().sampler().enabled()) {
+            std::printf("-- note: sampler is off; arm it with \\watch <interval_s> "
+                        "(or SCSQ_SAMPLE_INTERVAL) for the monitor to fire\n");
+          }
+        } catch (const scsq::scsql::Error& e) {
+          std::printf("-- monitor rejected: %s\n", e.what());
+        }
         continue;
       }
       if (t.rfind("\\explain analyze", 0) == 0) {
