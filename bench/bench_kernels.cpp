@@ -5,6 +5,9 @@
 // simulated bandwidth.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "core/scsq.hpp"
 #include "funcs/fft.hpp"
 #include "hw/lp_workload.hpp"
 #include "net/topology.hpp"
@@ -444,6 +447,51 @@ void BM_ParallelSim(benchmark::State& state) {
 // benchmark's per-thread CPU clock does not see — wall time is the only
 // honest throughput denominator for lps > 1.
 BENCHMARK(BM_ParallelSim)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Whole-engine parallel drive: a multi-pset TCP pipeline (producer on
+// the back-end, consumer in pset 1 at bg8, extract back to the client
+// — no cross-pset MPI, so the windowed runtime engages with RPs on two
+// LPs) through the full SCSQL stack at the swept LP count. Every
+// iteration's report is asserted bit-identical to the 1-LP reference:
+// the determinism gate that makes any speedup claim meaningful.
+// items/s counts kernel events summed over the LP Simulators.
+void BM_EngineParallel(benchmark::State& state) {
+  const int lps = static_cast<int>(state.range(0));
+  const char* query =
+      "select extract(b) from sp a, sp b"
+      " where b=sp(streamof(count(extract(a))),'bg',8)"
+      " and a=sp(gen_array(200000,24),'be',1);";
+  struct Run {
+    std::string fp;
+    std::uint64_t events;
+    int effective;
+  };
+  const auto run_once = [query](int k) {
+    scsq::ScsqConfig cfg;
+    cfg.exec.sim_lps = k;  // explicit config beats SCSQ_SIM_LPS
+    scsq::Scsq scsq(cfg);
+    const auto r = scsq.run(query);
+    std::ostringstream os;
+    os << std::hexfloat << r.elapsed_s << "/" << r.setup_s << "/" << r.stream_bytes;
+    return Run{os.str(), scsq.machine().perf_total().events_dispatched,
+               r.sim_lps_effective};
+  };
+  static const std::string reference = run_once(1).fp;
+  std::uint64_t events = 0;
+  int effective = 1;
+  for (auto _ : state) {
+    const Run run = run_once(lps);
+    if (run.fp != reference) {
+      state.SkipWithError("LP-count determinism violation in engine drive");
+      return;
+    }
+    events += run.events;
+    effective = run.effective;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["effective_lps"] = static_cast<double>(effective);
+}
+BENCHMARK(BM_EngineParallel)->Arg(1)->Arg(4)->UseRealTime();
 
 }  // namespace
 

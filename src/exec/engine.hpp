@@ -21,6 +21,7 @@
 
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -71,15 +72,19 @@ struct ExecOptions {
   /// host-side work per simulated item changes.
   std::size_t batch_size = 0;
   /// Logical-process count for the conservative partition of the
-  /// simulated hardware (sim/plp.hpp, hw::make_partition). 0 = resolve
-  /// from the SCSQ_SIM_LPS environment variable at engine construction
-  /// (default 1). The partition assigns every RP an LP affinity
-  /// (RpStat::lp, engine.rp.lp); the engine's data plane itself keeps
-  /// executing on the sequential fast path regardless of the value —
-  /// shared couplings (frame pool, machine-wide coordination factors)
-  /// have zero lookahead, so its effective LP count is 1 and reported
-  /// results are byte-identical at every setting by construction. See
-  /// DESIGN.md §5.6.
+  /// simulated hardware (sim/lp_domain.hpp, hw::make_partition). 0 =
+  /// resolve from the SCSQ_SIM_LPS environment variable at engine
+  /// construction (default 1, clamped to the pset count). On a machine
+  /// built over an LpDomain the domain's LP count is authoritative and
+  /// this knob is overwritten with it. The partition assigns every RP an
+  /// LP affinity (RpStat::lp, engine.rp.lp) and the data plane really
+  /// runs across those LPs: per-LP frame pools, frozen per-run
+  /// coordination-factor snapshots and split TCP links remove the
+  /// zero-lookahead couplings, and reported tables stay byte-identical
+  /// at every LP count (DESIGN.md §5.9). The drive still falls back to
+  /// one LP when every RP of a statement lands on LP 0, when traces are
+  /// recorded, or when max_results / a sample interval demand the
+  /// sequential path (engine.sim_lps.effective reports the outcome).
   int sim_lps = 0;
   /// Telemetry sampling window in simulated seconds (obs/sampler.hpp).
   /// < 0 = resolve from the SCSQ_SAMPLE_INTERVAL environment variable at
@@ -132,6 +137,12 @@ struct RunReport {
   /// True when the CQ was terminated by a stop condition (max_results)
   /// or the simulated-time limit rather than by its streams ending.
   bool stopped = false;
+  /// LP count of the machine partition (SCSQ_SIM_LPS after clamping).
+  int sim_lps_requested = 1;
+  /// Distinct LPs the statement's RPs actually landed on — the LP count
+  /// the data plane was driven with (> 1 means the windowed parallel
+  /// runtime ran it).
+  int sim_lps_effective = 1;
 };
 
 class Engine {
@@ -165,6 +176,12 @@ class Engine {
 
   hw::Machine& machine() { return *machine_; }
   const ExecOptions& options() const { return options_; }
+
+  /// Environment resolution for the LP-count and sample-interval knobs,
+  /// shared with core::Scsq (which must size the machine's LpDomain
+  /// *before* this engine exists, with exactly the same rules).
+  static int resolve_sim_lps_env(int configured);
+  static double resolve_sample_interval_env(double configured);
 
   /// The sim-time telemetry sampler. Always constructed (cheap when
   /// disabled); windows() holds the last statement's time series.
@@ -261,6 +278,10 @@ class Engine {
   Rp& find_rp(std::uint64_t id);
   sim::Task<void> run_rp(Rp& rp);
   void publish_rp_metrics(const RpStat& stat);
+  /// Distinct LPs over the current statement's RP locations.
+  int count_effective_lps() const;
+  /// Records an exception from any LP thread (first one wins).
+  void record_error(std::exception_ptr e);
 
   /// Stops the CQ: future RP loop iterations terminate and all inboxes
   /// close, discarding in-flight stream data (the control-message
@@ -305,6 +326,20 @@ class Engine {
   std::vector<catalog::Object>* results_sink_ = nullptr;
   bool stop_requested_ = false;
   std::exception_ptr error_;
+  std::mutex error_mu_;  // run_rp runs on every LP; first error wins
+
+  // --- two-phase parallel drive (LpDomain machines) ---
+  // Phase A runs binding + wiring on LP 0 only; execute() then freezes
+  // the fabric factors and parks on this gate. run_statement schedules
+  // the RP starts (single-threaded), releases the gate and drives either
+  // LP 0 alone (every RP on LP 0) or the whole windowed domain.
+  std::unique_ptr<sim::Event> phase_gate_;
+  bool phase_ready_ = false;
+  int effective_lps_ = 1;
+  // Set during wiring when a cross-pset MPI stream (torus per-hop state
+  // spans the partition below the lookahead) forces the zero-lookahead
+  // sequenced drive instead of windowed parallelism.
+  bool sequenced_drive_ = false;
 
   std::vector<Monitor> monitors_;
   std::vector<obs::MonitorAlert> monitor_alerts_;

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -79,7 +80,11 @@ struct TorusParams {
 
 class TorusNetwork {
  public:
-  TorusNetwork(sim::Simulator& sim, Torus3D topology, TorusParams params);
+  /// `node_sim` (optional) maps a node id to the LP Simulator that owns
+  /// its resources (co-processor, outgoing links) — multi-LP machines
+  /// pass their partition lookup; empty keeps everything on `sim`.
+  TorusNetwork(sim::Simulator& sim, Torus3D topology, TorusParams params,
+               std::function<sim::Simulator&(int)> node_sim = {});
 
   TorusNetwork(const TorusNetwork&) = delete;
   TorusNetwork& operator=(const TorusNetwork&) = delete;
@@ -121,6 +126,19 @@ class TorusNetwork {
   /// The communication co-processor of a node (capacity 1).
   sim::Resource& coproc(int node) { return *coprocs_.at(node); }
 
+  /// The LP Simulator owning a node's resources (the construction
+  /// Simulator when no node_sim mapping was given).
+  sim::Simulator& node_sim(int node) const {
+    return node_sim_ ? node_sim_(node) : *sim_;
+  }
+
+  /// Creates every directed link on route(from, to) now, instead of at
+  /// first transmission. Multi-LP machines prewarm all routes they will
+  /// drive in parallel: the links_ map then never mutates during the
+  /// concurrent phase, and the route is checked to stay on `from`'s
+  /// Simulator (a route leaving its LP would hold foreign resources).
+  void prewarm_route(int from, int to);
+
   /// Stream registration: links declare a live inbound stream at `node`
   /// so receive handling can charge the expected source-switch cost.
   void register_inbound_stream(int node);
@@ -132,7 +150,7 @@ class TorusNetwork {
 
   /// Cumulative receive co-processor source-switch seconds, machine-wide
   /// (the coproc.switch attribution input of the profiler).
-  double switch_seconds() const { return switch_seconds_; }
+  double switch_seconds() const;
 
   /// Publishes per-hop utilization and message/packet totals into the
   /// registry: torus.link.busy_s / torus.link.utilization gauges per
@@ -153,17 +171,25 @@ class TorusNetwork {
   sim::Simulator* sim_;
   Torus3D topology_;
   TorusParams params_;
+  std::function<sim::Simulator&(int)> node_sim_;
   std::vector<std::unique_ptr<sim::Resource>> coprocs_;
-  // Directed links created lazily, keyed by from * node_count + to.
+  // Directed links created lazily, keyed by from * node_count + to
+  // (multi-LP machines prewarm instead — see prewarm_route).
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Resource>> links_;
   // Live inbound stream count per node (source-switch expectation).
   std::vector<int> inbound_streams_;
-  // Cumulative transmit totals (see publish_metrics).
-  std::uint64_t messages_ = 0;
-  std::uint64_t packets_ = 0;
-  std::uint64_t rendezvous_messages_ = 0;
-  std::uint64_t payload_bytes_ = 0;
-  double switch_seconds_ = 0.0;
+  // Cumulative transmit totals, sharded by node so concurrent LPs never
+  // share a counter: tx_ is indexed by the sending node (only its LP
+  // increments it), switch_seconds_by_dst_ by the receiving node.
+  // publish_metrics / switch_seconds() sum over the shards.
+  struct TxCounters {
+    std::uint64_t messages = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t rendezvous_messages = 0;
+    std::uint64_t payload_bytes = 0;
+  };
+  std::vector<TxCounters> tx_;
+  std::vector<double> switch_seconds_by_dst_;
 };
 
 }  // namespace scsq::net

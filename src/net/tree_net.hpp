@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -47,8 +48,12 @@ struct TreeParams {
 class TreeNetwork {
  public:
   /// One I/O node (and one tree subtree) per pset; one ingest processor
-  /// per compute node.
-  TreeNetwork(sim::Simulator& sim, int pset_count, int compute_count, TreeParams params);
+  /// per compute node. `pset_sim` / `rank_sim` (optional) place each
+  /// pset's I/O CPU + tree link and each compute node's ingest processor
+  /// on their owning LP Simulator; empty keeps everything on `sim`.
+  TreeNetwork(sim::Simulator& sim, int pset_count, int compute_count, TreeParams params,
+              std::function<sim::Simulator&(int)> pset_sim = {},
+              std::function<sim::Simulator&(int)> rank_sim = {});
 
   TreeNetwork(const TreeNetwork&) = delete;
   TreeNetwork& operator=(const TreeNetwork&) = delete;
@@ -84,10 +89,16 @@ class TreeNetwork {
   std::vector<std::unique_ptr<sim::Resource>> io_cpus_;
   std::vector<std::unique_ptr<sim::Resource>> tree_links_;
   std::vector<std::unique_ptr<sim::Resource>> ingest_;
-  std::uint64_t inbound_messages_ = 0;
-  std::uint64_t inbound_bytes_ = 0;
-  std::uint64_t outbound_messages_ = 0;
-  std::uint64_t outbound_bytes_ = 0;
+  // Message totals sharded per pset: every forward_* call runs entirely
+  // on its pset's LP, so each shard has exactly one writing thread.
+  // publish_metrics sums over the shards.
+  struct PsetCounters {
+    std::uint64_t inbound_messages = 0;
+    std::uint64_t inbound_bytes = 0;
+    std::uint64_t outbound_messages = 0;
+    std::uint64_t outbound_bytes = 0;
+  };
+  std::vector<PsetCounters> counters_;
 };
 
 }  // namespace scsq::net

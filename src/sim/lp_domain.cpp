@@ -1,0 +1,209 @@
+#include "sim/lp_domain.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace scsq::sim {
+
+LpDomain::LpDomain(int lp_count) {
+  SCSQ_CHECK(lp_count >= 1) << "LpDomain needs at least one LP, got " << lp_count;
+  sims_.reserve(static_cast<std::size_t>(lp_count));
+  ingress_.reserve(static_cast<std::size_t>(lp_count));
+  for (int i = 0; i < lp_count; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+    ingress_.push_back(std::make_unique<Ingress>());
+  }
+  window_errors_.resize(static_cast<std::size_t>(lp_count));
+  if (lp_count > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(static_cast<unsigned>(lp_count - 1));
+  }
+}
+
+LpDomain::~LpDomain() = default;
+
+void LpDomain::set_lookahead(double seconds) {
+  SCSQ_CHECK(seconds >= 0.0) << "negative lookahead: " << seconds;
+  SCSQ_CHECK(lp_count() == 1 || seconds > 0.0)
+      << "parallel windows need a positive lookahead";
+  lookahead_ = seconds;
+}
+
+std::uint32_t LpDomain::new_origin() {
+  origin_seq_.push_back(0);
+  return static_cast<std::uint32_t>(origin_seq_.size() - 1);
+}
+
+void LpDomain::post(int lp, double at, std::uint32_t origin, std::function<void()> fn) {
+  if (sequenced_) {
+    // Sequenced mode is single-threaded: apply directly to the target,
+    // exactly where a same-LP poster would schedule. The event draws its
+    // seq from the shared counter at this very point of execution, which
+    // is what keeps the global dispatch order identical to lp_count 1.
+    sims_[static_cast<std::size_t>(lp)]->call_at(at, std::move(fn));
+    return;
+  }
+  // The per-origin counter is touched by exactly one thread during a
+  // window (an origin is one serialized link direction), so it needs no
+  // synchronization of its own; the ingress mutex orders the push
+  // against the drain.
+  const std::uint64_t seq = origin_seq_[origin]++;
+  auto& ing = *ingress_[static_cast<std::size_t>(lp)];
+  std::lock_guard<std::mutex> lock(ing.mu);
+  ing.entries.push_back(Entry{at, origin, lp, seq, std::move(fn)});
+}
+
+void LpDomain::drain_staged() {
+  scratch_.clear();
+  for (auto& ing_ptr : ingress_) {
+    auto& ing = *ing_ptr;
+    std::lock_guard<std::mutex> lock(ing.mu);
+    for (auto& e : ing.entries) scratch_.push_back(std::move(e));
+    ing.entries.clear();
+  }
+  if (scratch_.empty()) return;
+  std::sort(scratch_.begin(), scratch_.end(), [](const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.origin != b.origin) return a.origin < b.origin;
+    return a.seq < b.seq;
+  });
+  for (auto& e : scratch_) {
+    sims_[static_cast<std::size_t>(e.lp)]->call_at(e.at, std::move(e.fn));
+  }
+  scratch_.clear();
+}
+
+template <class Fn>
+void LpDomain::run_window(Fn&& fn) {
+  const int k = lp_count();
+  for (int lp = 1; lp < k; ++lp) {
+    pool_->submit([this, lp, &fn] {
+      try {
+        fn(*sims_[static_cast<std::size_t>(lp)]);
+      } catch (...) {
+        window_errors_[static_cast<std::size_t>(lp)] = std::current_exception();
+      }
+    });
+  }
+  try {
+    fn(*sims_[0]);
+  } catch (...) {
+    window_errors_[0] = std::current_exception();
+  }
+  pool_->wait_idle();
+  for (auto& err : window_errors_) {
+    if (err) std::rethrow_exception(std::exchange(err, nullptr));
+  }
+}
+
+double LpDomain::run_windowed(double limit) {
+  const int k = lp_count();
+  for (;;) {
+    drain_staged();
+    double m = Simulator::kNoLimit;
+    for (const auto& s : sims_) m = std::min(m, s->next_event_time());
+    if (m >= Simulator::kNoLimit || m > limit) break;
+    if (k == 1) {
+      // Sequential fast path: no window chopping, one run per drain
+      // round (staged entries only exist here transiently, between a
+      // run that posted them and this drain).
+      sims_[0]->run(limit);
+      continue;
+    }
+    const double h = m + lookahead_;
+    if (h > limit) {
+      // Final window: every event with t <= limit < h is safe to run —
+      // a cross-LP post from t >= m arrives at t + L >= h > limit.
+      run_window([limit](Simulator& s) { s.run(limit); });
+    } else {
+      run_window([h](Simulator& s) { s.run_before(h); });
+    }
+  }
+  double t = 0.0;
+  for (const auto& s : sims_) t = std::max(t, s->now());
+  return t;
+}
+
+void LpDomain::begin_sequenced() {
+  if (lp_count() == 1 || sequenced_) return;
+  SCSQ_CHECK(staged() == 0) << "begin_sequenced with staged posts pending";
+  shared_seq_ = 0;
+  for (const auto& s : sims_) shared_seq_ = std::max(shared_seq_, s->seq_value());
+  for (auto& s : sims_) s->share_seq_counter(&shared_seq_);
+  sequenced_ = true;
+}
+
+void LpDomain::end_sequenced() {
+  if (!sequenced_) return;
+  for (auto& s : sims_) s->unshare_seq_counter();
+  sequenced_ = false;
+}
+
+double LpDomain::run_sequenced(double limit) {
+  const int k = lp_count();
+  if (k == 1) {
+    sims_[0]->run(limit);
+    return sims_[0]->now();
+  }
+  SCSQ_CHECK(sequenced_) << "run_sequenced without begin_sequenced";
+  for (;;) {
+    // Global front: minimal (time, seq) over the shards. seqs from the
+    // shared counter are unique; events predating begin_sequenced can
+    // collide across shards, so the LP index is the final tie-break.
+    int best = -1;
+    double best_at = 0.0;
+    std::uint64_t best_seq = 0;
+    for (int lp = 0; lp < k; ++lp) {
+      double at;
+      std::uint64_t seq;
+      if (!sims_[static_cast<std::size_t>(lp)]->next_event_key(&at, &seq)) continue;
+      if (best < 0 || at < best_at || (at == best_at && seq < best_seq)) {
+        best = lp;
+        best_at = at;
+        best_seq = seq;
+      }
+    }
+    if (best < 0 || best_at > limit) break;
+    Simulator& shard = *sims_[static_cast<std::size_t>(best)];
+    if (shard.front_cancelled()) {
+      // Silent pop, no clock touched anywhere — a cancelled node parked
+      // past the last real event must not drag any now() forward.
+      shard.run_one();
+      continue;
+    }
+    // Lockstep clocks: any cross-shard now() read inside the dispatched
+    // event must see the global time. best_at is <= every pending
+    // event's timestamp, so this never advances a shard past work.
+    for (auto& s : sims_) s->advance_now(best_at);
+    shard.run_one();
+  }
+  double t = 0.0;
+  for (const auto& s : sims_) t = std::max(t, s->now());
+  return t;
+}
+
+PerfCounters LpDomain::perf_total() const {
+  PerfCounters total;
+  for (const auto& s : sims_) {
+    const PerfCounters& p = s->perf();
+    total.events_dispatched += p.events_dispatched;
+    total.heap_pushes += p.heap_pushes;
+    total.fifo_pushes += p.fifo_pushes;
+    total.callbacks_run += p.callbacks_run;
+    total.channel_sends += p.channel_sends;
+    total.channel_recvs += p.channel_recvs;
+    total.channel_waits += p.channel_waits;
+    total.wakeups += p.wakeups;
+    total.peak_queue_depth = std::max(total.peak_queue_depth, p.peak_queue_depth);
+  }
+  return total;
+}
+
+std::size_t LpDomain::staged() const {
+  std::size_t n = 0;
+  for (const auto& ing : ingress_) n += ing->entries.size();
+  return n;
+}
+
+}  // namespace scsq::sim

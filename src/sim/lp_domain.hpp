@@ -1,0 +1,155 @@
+// Conservative safe-window domain over a fixed set of LP Simulators.
+//
+// An LpDomain owns k independent Simulator instances (one per logical
+// process) and advances them together in barrier-synchronized windows:
+// each round computes the global minimum next-event time m over all LPs
+// and runs every LP concurrently up to the horizon h = m + L, where L is
+// the domain's uniform lookahead. Any event executing at time t >= m
+// that wants to affect *another* LP must do so with a delivery delay of
+// at least L, so its earliest cross-LP effect lands at t + L >= h —
+// strictly outside the window every peer is concurrently executing
+// (run_before(h) dispatches strictly below h). Cross-LP effects are
+// therefore never injected into a foreign Simulator directly; they are
+// staged through post() into per-LP ingress queues and drained at the
+// next window boundary, single-threaded.
+//
+// Determinism: staged entries are globally sorted by (at, origin, seq)
+// before being scheduled. `origin` identifies the staging source (one
+// direction of one link — allocated via new_origin() at wire time) and
+// `seq` is the per-origin submission counter, so two entries from the
+// same origin keep submission order and entries from different origins
+// tie-break by a k-independent key. Per-LP subsets of one globally
+// sorted sequence preserve their relative order, which is why the same
+// workload produces byte-identical results at every lp_count — the
+// partition only selects which Simulator an entry lands in, never the
+// order entries with equal timestamps are scheduled in.
+//
+// k == 1 degenerates gracefully: run_windowed() skips window chopping
+// entirely (one run(limit) per drain round), so the sequential path pays
+// neither barriers nor lookahead granularity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scsq::sim {
+
+class LpDomain {
+ public:
+  /// Constructs `lp_count` >= 1 independent Simulators. lp_count > 1
+  /// also spins up a persistent pool of lp_count - 1 worker threads (LP
+  /// 0 always runs on the caller's thread during a window).
+  explicit LpDomain(int lp_count);
+  ~LpDomain();
+  LpDomain(const LpDomain&) = delete;
+  LpDomain& operator=(const LpDomain&) = delete;
+
+  int lp_count() const { return static_cast<int>(sims_.size()); }
+  Simulator& sim(int lp) { return *sims_[static_cast<std::size_t>(lp)]; }
+  const Simulator& sim(int lp) const { return *sims_[static_cast<std::size_t>(lp)]; }
+
+  /// Sets the uniform conservative lookahead L (simulated seconds): the
+  /// minimum delivery delay every cross-LP post() promises relative to
+  /// the posting event's timestamp. Must be > 0 when lp_count > 1.
+  void set_lookahead(double seconds);
+  double lookahead() const { return lookahead_; }
+
+  /// Allocates a staging origin id. Each origin is one serialized source
+  /// of cross-LP posts (one direction of one link): during the parallel
+  /// phase exactly one thread may post under a given origin. Call only
+  /// while no window is running (wire time).
+  std::uint32_t new_origin();
+
+  /// Stages `fn` to run at simulated time `at` on LP `lp`. Thread-safe
+  /// across distinct origins. The caller promises at >= t_post + L where
+  /// t_post is the posting event's timestamp (the conservative
+  /// contract); entries are scheduled into the target Simulator at the
+  /// next window boundary.
+  void post(int lp, double at, std::uint32_t origin, std::function<void()> fn);
+
+  /// Drives every LP until global quiescence (no pending events, no
+  /// staged entries) or until the next event would exceed `limit`.
+  /// Returns the global maximum now() over the LPs.
+  double run_windowed(double limit = Simulator::kNoLimit);
+
+  // --- Sequenced (zero-lookahead) fallback drive ---
+  //
+  // Workloads with cross-LP interactions *below* the lookahead — the
+  // torus MPI path, whose per-hop state spans LPs with no minimum
+  // latency — cannot run under windows. begin_sequenced() turns the
+  // domain into shards of one logical event queue: every Simulator draws
+  // event seqs from one shared counter, cross-LP post() applies directly
+  // to the target (legal: everything is single-threaded in this mode),
+  // and run_sequenced() dispatches the globally minimal (time, seq)
+  // event one at a time with all shard clocks advanced in lockstep.
+  // The dispatch sequence is bit-for-bit what one Simulator holding the
+  // union of events would produce, so results stay byte-identical to
+  // lp_count == 1 — trading parallelism for generality, never
+  // correctness.
+
+  /// Enters sequenced mode (no-op at lp_count 1). Call at quiescence,
+  /// before scheduling the work that will run sequenced, so those
+  /// events already draw from the shared counter.
+  void begin_sequenced();
+
+  /// Leaves sequenced mode; per-Simulator counters continue from the
+  /// shared value. Call at quiescence.
+  void end_sequenced();
+
+  /// Single-threaded global-order drive (requires begin_sequenced at
+  /// lp_count > 1). Stops at quiescence or once the global front event
+  /// would exceed `limit`; returns the global maximum now().
+  double run_sequenced(double limit = Simulator::kNoLimit);
+
+  bool sequenced() const { return sequenced_; }
+
+  /// Sum of the kernel perf counters over all LPs (peak_queue_depth is
+  /// the max, not the sum — it is a high-water mark, not a total).
+  PerfCounters perf_total() const;
+
+  /// Outstanding staged entries across all ingress queues (diagnostics;
+  /// call only while no window is running).
+  std::size_t staged() const;
+
+ private:
+  struct Entry {
+    double at = 0.0;
+    std::uint32_t origin = 0;
+    int lp = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct Ingress {
+    std::mutex mu;
+    std::vector<Entry> entries;
+  };
+
+  /// Moves every staged entry into its target Simulator, globally sorted
+  /// by (at, origin, seq). Single-threaded (window boundary only).
+  void drain_staged();
+
+  /// Runs `fn(sim)` for every LP concurrently: LPs 1..k-1 on the pool,
+  /// LP 0 on the caller. Rethrows the lowest-LP worker exception.
+  template <class Fn>
+  void run_window(Fn&& fn);
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::unique_ptr<Ingress>> ingress_;  // indexed by dst LP
+  std::vector<std::uint64_t> origin_seq_;          // per-origin post counter
+  std::vector<std::exception_ptr> window_errors_;  // per-LP, checked per window
+  std::vector<Entry> scratch_;                     // drain_staged working set
+  double lookahead_ = 0.0;
+  bool sequenced_ = false;         // begin_sequenced..end_sequenced
+  std::uint64_t shared_seq_ = 0;   // the one counter all shards draw from
+  std::unique_ptr<util::ThreadPool> pool_;  // last member: joins before sims die
+};
+
+}  // namespace scsq::sim

@@ -89,6 +89,24 @@ class Resource {
     release();
   }
 
+  /// Reserves the next FIFO slot of a capacity-1 resource and returns the
+  /// exact simulated time a use(hold) enqueued *now* will complete. Valid
+  /// only when every user of the resource pairs claim(hold) with an
+  /// immediately following use(hold) in the same event (no suspension in
+  /// between), so claim order equals grant order. The returned time is
+  /// bitwise-identical to the clock after the matching use(): a FIFO
+  /// grant resumes at its predecessor's release time, so completion is
+  /// max(now, previous completion) + hold in both computations. The
+  /// parallel LP runtime uses this to announce a cross-LP delivery a full
+  /// hold-time ahead of the delivery event — the lookahead that keeps
+  /// conservative windows safe.
+  Time claim(Time hold) {
+    SCSQ_CHECK(capacity_ == 1) << "claim() needs FIFO capacity 1: " << name_;
+    Time start = claim_until_ > sim_->now() ? claim_until_ : sim_->now();
+    claim_until_ = start + hold;
+    return claim_until_;
+  }
+
   int capacity() const { return capacity_; }
   int in_use() const { return in_use_; }
   std::size_t queue_length() const { return waiters_.size(); }
@@ -133,6 +151,7 @@ class Resource {
   double busy_integral_ = 0.0;
   double last_change_ = 0.0;
   double stats_start_ = 0.0;
+  Time claim_until_ = 0.0;
   Trace* trace_ = nullptr;
   double episode_start_ = 0.0;
 };

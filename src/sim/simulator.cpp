@@ -147,6 +147,48 @@ Time Simulator::run_loop(Time limit) {
   return now_;
 }
 
+bool Simulator::run_one() {
+  // One iteration of run_loop's body, without the limit checks — the
+  // multiplexer already established that this shard holds the global
+  // front. The bookkeeping (peak-depth sample, cancelled-node
+  // consumption, clock advance on the heap path, periodic root sweep)
+  // mirrors run_loop exactly so a multiplexed drive is event-for-event
+  // identical to a single-Simulator run.
+  const std::size_t fifo_live = fifo_.size() - fifo_head_;
+  const std::uint64_t depth = heap_.size() + fifo_live;
+  if (depth > perf_.peak_queue_depth) perf_.peak_queue_depth = depth;
+  std::uintptr_t payload;
+  if (fifo_live != 0) {
+    if (!heap_.empty() && heap_[0].at == now_ && heap_[0].seq < fifo_[fifo_head_].seq) {
+      payload = heap_[0].payload;
+      pop_heap_root();
+    } else {
+      payload = fifo_[fifo_head_].payload;
+      if (++fifo_head_ == fifo_.size()) {
+        fifo_.clear();
+        fifo_head_ = 0;
+      }
+    }
+    if (consume_cancelled(payload)) return false;
+  } else if (!heap_.empty()) {
+    const Time at = heap_[0].at;
+    payload = heap_[0].payload;
+    pop_heap_root();
+    if (consume_cancelled(payload)) return false;
+    now_ = at;
+  } else {
+    return false;
+  }
+  ++perf_.events_dispatched;
+  if (payload & 1u) {
+    run_callback(payload);
+  } else {
+    std::coroutine_handle<>::from_address(reinterpret_cast<void*>(payload)).resume();
+  }
+  if ((perf_.events_dispatched & 0x3FF) == 0) sweep_finished_roots();
+  return true;
+}
+
 Time Simulator::run(Time until) { return run_loop<false>(until); }
 
 Time Simulator::run_before(Time horizon) { return run_loop<true>(horizon); }

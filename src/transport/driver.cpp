@@ -1,9 +1,26 @@
 #include "transport/driver.hpp"
 
+#include <memory>
+
 namespace scsq::transport {
 
 void Link::start_transmit(Frame frame, std::function<void()> on_sender_free) {
+  if (split()) {
+    sim_->spawn(run_split(std::move(frame), std::move(on_sender_free)));
+    return;
+  }
   sim_->spawn(run(std::move(frame), std::move(on_sender_free)));
+}
+
+void Link::enable_split(sim::Simulator& dst_sim, Poster post_dst, Poster post_src,
+                        double credit_latency_s, bool deferred_metrics) {
+  SCSQ_CHECK(post_dst != nullptr && post_src != nullptr) << "split link needs posters";
+  SCSQ_CHECK(credit_latency_s > 0.0) << "split link needs a positive credit latency";
+  dst_sim_ = &dst_sim;
+  post_dst_ = std::move(post_dst);
+  post_src_ = std::move(post_src);
+  credit_latency_s_ = credit_latency_s;
+  deferred_ = deferred_metrics;
 }
 
 sim::Task<void> Link::run(Frame frame, std::function<void()> on_sender_free) {
@@ -41,13 +58,104 @@ void Link::flush_batch() const {
   stats_.frames += batch_.frames;
   stats_.payload_bytes += batch_.payload_bytes;
   stats_.wire_bytes += batch_.wire_bytes;
+  stats_.stalls += batch_.stalls;
   stats_.transit_s += batch_.transit_s;
   stats_.window_wait_s += batch_.window_wait_s;
-  if (metrics_.frames) metrics_.frames->inc(batch_.frames);
-  if (metrics_.bytes) metrics_.bytes->inc(batch_.payload_bytes);
-  if (metrics_.stalls && batch_.stalls) metrics_.stalls->inc(batch_.stalls);
-  if (metrics_.stall_seconds) metrics_.stall_seconds->add(batch_.window_wait_s);
+  if (!deferred_) {
+    if (metrics_.frames) metrics_.frames->inc(batch_.frames);
+    if (metrics_.bytes) metrics_.bytes->inc(batch_.payload_bytes);
+    if (metrics_.stalls && batch_.stalls) metrics_.stalls->inc(batch_.stalls);
+    if (metrics_.stall_seconds) metrics_.stall_seconds->add(batch_.window_wait_s);
+  }
   batch_ = StatsBatch{};
+}
+
+void Link::publish_deferred() const {
+  if (!deferred_) return;
+  flush_batch();
+  if (metrics_.frames) metrics_.frames->inc(stats_.frames - published_.frames);
+  if (metrics_.bytes) metrics_.bytes->inc(stats_.payload_bytes - published_.payload_bytes);
+  if (metrics_.stalls && stats_.stalls > published_.stalls) {
+    metrics_.stalls->inc(stats_.stalls - published_.stalls);
+  }
+  if (metrics_.stall_seconds) {
+    metrics_.stall_seconds->add(stats_.window_wait_s - published_.window_wait_s);
+  }
+  published_.frames = stats_.frames;
+  published_.payload_bytes = stats_.payload_bytes;
+  published_.stalls = stats_.stalls;
+  published_.window_wait_s = stats_.window_wait_s;
+  if (metrics_.frame_latency) {
+    for (double s : deferred_latency_) metrics_.frame_latency->observe(s);
+  }
+  deferred_latency_.clear();
+}
+
+sim::Task<void> Link::src_transmit(Frame, std::function<void()>, double, double, bool) {
+  SCSQ_CHECK(false) << "link type '" << type_ << "' does not support split transmit";
+  co_return;
+}
+
+sim::Task<void> Link::dst_receive(Frame) {
+  SCSQ_CHECK(false) << "link type '" << type_ << "' does not support split receive";
+  co_return;
+}
+
+void Link::announce_delivery(double at, Frame frame, double t0, double window_wait,
+                             bool stalled) {
+  // Frame rides to the destination LP inside a copyable closure; the
+  // shared_ptr avoids deep-copying the object payload.
+  auto carried = std::make_shared<Frame>(std::move(frame));
+  post_dst_(at, [this, carried, t0, window_wait, stalled] {
+    dst_sim_->spawn(dst_run(std::move(*carried), t0, window_wait, stalled));
+  });
+}
+
+sim::Task<void> Link::run_split(Frame frame, std::function<void()> on_sender_free) {
+  const double t0 = sim_->now();
+  // Same stall truth-value as the sequential path — computed here on the
+  // source LP, accounted in dst_run where batch_ lives.
+  const bool stalled = window_.in_use() >= window_.capacity();
+  co_await window_.acquire();
+  const double window_wait = sim_->now() - t0;
+  co_await src_transmit(std::move(frame), std::move(on_sender_free), t0, window_wait,
+                        stalled);
+}
+
+sim::Task<void> Link::dst_run(Frame frame, double t0, double window_wait, bool stalled) {
+  const bool eos = frame.eos;
+  const std::uint64_t payload = frame.bytes;
+  co_await dst_receive(std::move(frame));
+  const double t1 = dst_sim_->now();
+  batch_.frames += 1;
+  batch_.payload_bytes += payload;
+  batch_.wire_bytes += wire_bytes_for(payload);
+  if (stalled) ++batch_.stalls;
+  batch_.transit_s += t1 - t0;
+  batch_.window_wait_s += window_wait;
+  if (deferred_) {
+    if (metrics_.frame_latency) deferred_latency_.push_back(t1 - t0);
+  } else if (metrics_.frame_latency) {
+    metrics_.frame_latency->observe(t1 - t0);
+  }
+  stats_.latency.observe(t1 - t0);
+  if (flow_trace_ && !eos) flow_trace_->flow(flow_from_, flow_to_, "frame", t0, t1);
+  // Flow-control credit back to the source LP: the window slot frees one
+  // modeled round-trip after delivery. The drained event (EOS) rides the
+  // same credit — both are source-LP-owned state.
+  post_src_(t1 + credit_latency_s_, [this, eos] {
+    window_.release();
+    if (eos) drained_.set();
+  });
+  if (eos) {
+    flush_batch();
+    stream_ended();
+  } else if (batch_.frames >= 16) {
+    // Bounded batching: split links never see the window drain to zero
+    // on the delivery side (the credit round-trip keeps slots in
+    // flight), so settle the books every 16 frames instead.
+    flush_batch();
+  }
 }
 
 SenderDriver::SenderDriver(sim::Simulator& sim, DriverParams params, sim::Resource& cpu,
@@ -62,11 +170,24 @@ SenderDriver::SenderDriver(sim::Simulator& sim, DriverParams params, sim::Resour
       outbox_(sim, 1) {
   SCSQ_CHECK(link_ != nullptr) << "sender driver needs a link";
   SCSQ_CHECK(params_.send_buffers >= 1) << "need at least one send buffer";
+}
+
+void SenderDriver::ensure_drain() {
+  // Lazy: spawned at the first push/finish instead of at construction.
+  // Construction happens while streams are wired — on a multi-LP machine
+  // that may be a *remote* Simulator that has not started running yet,
+  // and an error between wiring and the drive would otherwise strand an
+  // un-dispatched coroutine start in its queue. The drain's first action
+  // is to park on an empty outbox either way, so the simulated timeline
+  // is unchanged.
+  if (drain_started_) return;
+  drain_started_ = true;
   sim_->spawn(drain());
 }
 
 sim::Task<void> SenderDriver::push(catalog::Object obj) {
   SCSQ_CHECK(!finishing_) << "push after finish";
+  ensure_drain();
   // Entering active production invalidates any armed linger flush (the
   // cut in the timer callback must never interleave with a push).
   ++linger_generation_;
@@ -111,6 +232,7 @@ void SenderDriver::arm_linger_fire() {
 }
 
 sim::Task<void> SenderDriver::finish() {
+  ensure_drain();
   finishing_ = true;
   ++linger_generation_;  // cancel pending flushes
   co_await outbox_.send(cutter_.finish());

@@ -77,6 +77,7 @@ struct LinkStats {
   std::uint64_t frames = 0;         ///< frames delivered (incl. EOS)
   std::uint64_t payload_bytes = 0;  ///< stream payload bytes
   std::uint64_t wire_bytes = 0;     ///< payload rounded to wire granularity
+  std::uint64_t stalls = 0;         ///< transmissions that found the window full
   double transit_s = 0.0;           ///< sum of queue-entry -> delivery times
   double window_wait_s = 0.0;       ///< share of transit_s queued on the window
   obs::LogHistogram latency;        ///< per-frame transit seconds
@@ -104,6 +105,35 @@ class Link {
   /// invoked when the send buffer becomes reusable. Frames are delivered
   /// to the consumer inbox in start order.
   void start_transmit(Frame frame, std::function<void()> on_sender_free);
+
+  /// Schedules a callback onto a (possibly remote) LP Simulator at an
+  /// absolute simulated time (hw::Machine::make_poster).
+  using Poster = std::function<void(double, std::function<void()>)>;
+
+  /// Splits this link's transmit pipeline across two LP Simulators for
+  /// the parallel engine drive. The source half keeps running on the
+  /// constructing Simulator (window admission and source-side resource
+  /// holds); it *claims* the completion time of its final source
+  /// resource and posts the destination half onto `dst_sim` via
+  /// `post_dst` a full resource-hold ahead of that time — the lookahead
+  /// that keeps conservative LP windows safe. The destination half
+  /// performs the receive-side holds and the inbox delivery, then posts
+  /// the flow-control credit back via `post_src` after
+  /// `credit_latency_s` (releasing the window and, at EOS, the drained
+  /// event — both source-owned). With `deferred_metrics` (LP count > 1)
+  /// the shared registry is never touched during the drive; the engine
+  /// calls publish_deferred() once the domain is quiescent. stats()
+  /// totals stay exact throughout — they are destination-LP-owned.
+  void enable_split(sim::Simulator& dst_sim, Poster post_dst, Poster post_src,
+                    double credit_latency_s, bool deferred_metrics);
+
+  /// True once enable_split() has been called.
+  bool split() const { return dst_sim_ != nullptr; }
+
+  /// Applies registry updates withheld during a parallel drive (counter
+  /// increments and buffered latency samples). Idempotent: a cursor
+  /// remembers what was already published. Safe only at quiescence.
+  void publish_deferred() const;
 
   /// Set once the EOS frame has been delivered (safe to tear down).
   sim::Event& drained() { return drained_; }
@@ -134,7 +164,29 @@ class Link {
  protected:
   virtual sim::Task<void> transmit_one(Frame frame,
                                        std::function<void()> on_sender_free) = 0;
-  /// Called after the EOS frame is delivered; close flows etc.
+
+  /// Split mode, source half: source-side resource holds only.
+  /// Implementations claim() their final capacity-1 source resource,
+  /// call announce_delivery() with the claimed completion time *before
+  /// suspending* (the claim and the announce must share one event — that
+  /// is what makes the announced time at least one lookahead ahead of
+  /// every LP's clock), then co_await the actual holds. Links that never
+  /// split (MPI, local) keep the default, which aborts.
+  virtual sim::Task<void> src_transmit(Frame frame, std::function<void()> on_sender_free,
+                                       double t0, double window_wait, bool stalled);
+
+  /// Split mode, destination half: receive-side resource holds plus the
+  /// inbox delivery. Runs on the destination LP.
+  virtual sim::Task<void> dst_receive(Frame frame);
+
+  /// Posts the destination half of a split transmit onto the destination
+  /// LP at absolute time `at` (the claimed source completion time).
+  void announce_delivery(double at, Frame frame, double t0, double window_wait,
+                         bool stalled);
+
+  /// Called after the EOS frame is delivered; close flows etc. In split
+  /// mode this runs on the destination LP — implementations may only
+  /// touch mutex-guarded or destination-owned state there.
   virtual void stream_ended() {}
 
   /// Bytes a payload occupies on the wire. The default is the payload
@@ -149,6 +201,13 @@ class Link {
 
  private:
   sim::Task<void> run(Frame frame, std::function<void()> on_sender_free);
+  /// Split-mode source half: window admission on the source LP, then
+  /// src_transmit (which announces the destination half).
+  sim::Task<void> run_split(Frame frame, std::function<void()> on_sender_free);
+  /// Split-mode destination half: dst_receive, then accounting (batch_,
+  /// stats_ and the latency samples are destination-LP-owned in split
+  /// mode) and the window credit back to the source LP.
+  sim::Task<void> dst_run(Frame frame, double t0, double window_wait, bool stalled);
 
   /// Scalar stats accumulated across a burst of in-flight frames and
   /// applied to stats_/metrics_ in one shot — per-frame delivery used
@@ -174,6 +233,23 @@ class Link {
   sim::Trace* flow_trace_ = nullptr;
   std::string flow_from_;
   std::string flow_to_;
+  // --- split-mode state (enable_split) ---
+  sim::Simulator* dst_sim_ = nullptr;
+  Poster post_dst_;
+  Poster post_src_;
+  double credit_latency_s_ = 0.0;
+  bool deferred_ = false;
+  /// What publish_deferred() has already pushed into the registry.
+  struct PublishedCursor {
+    std::uint64_t frames = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t stalls = 0;
+    double window_wait_s = 0.0;
+  };
+  mutable PublishedCursor published_;
+  /// Latency samples awaiting publish_deferred() (deferred mode only —
+  /// stats_.latency always observes every sample immediately).
+  mutable std::vector<double> deferred_latency_;
 };
 
 class SenderDriver {
@@ -207,7 +283,9 @@ class SenderDriver {
  private:
   /// Single drainer coroutine: emits frames in cut order (marshal on the
   /// CPU, then hand to the link), serializing pushes and linger flushes.
+  /// Spawned lazily at the first push()/finish() — see ensure_drain().
   sim::Task<void> drain();
+  void ensure_drain();
   void arm_linger();
   void arm_linger_fire();
 
@@ -221,6 +299,7 @@ class SenderDriver {
   sim::Channel<Frame> outbox_;
   std::vector<Frame> cut_scratch_;  // reused across pushes (see push())
   std::uint64_t linger_generation_ = 0;
+  bool drain_started_ = false;
   bool finishing_ = false;
   double stall_seconds_ = 0.0;
   double marshal_seconds_ = 0.0;

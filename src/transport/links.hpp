@@ -54,6 +54,9 @@ class TcpToBgLink final : public Link {
 
  protected:
   sim::Task<void> transmit_one(Frame frame, std::function<void()> on_sender_free) override;
+  sim::Task<void> src_transmit(Frame frame, std::function<void()> on_sender_free,
+                               double t0, double window_wait, bool stalled) override;
+  sim::Task<void> dst_receive(Frame frame) override;
   void stream_ended() override;
 
  private:
@@ -62,6 +65,8 @@ class TcpToBgLink final : public Link {
   hw::Machine* machine_;
   int dst_rank_;
   int pset_;
+  int src_host_;
+  int io_host_;
   sim::Channel<Frame>* inbox_;
   net::FlowId flow_ = 0;
   bool flow_open_ = false;
@@ -75,6 +80,9 @@ class TcpFromBgLink final : public Link {
 
  protected:
   sim::Task<void> transmit_one(Frame frame, std::function<void()> on_sender_free) override;
+  sim::Task<void> src_transmit(Frame frame, std::function<void()> on_sender_free,
+                               double t0, double window_wait, bool stalled) override;
+  sim::Task<void> dst_receive(Frame frame) override;
   void stream_ended() override;
 
  private:
@@ -83,6 +91,8 @@ class TcpFromBgLink final : public Link {
   hw::Machine* machine_;
   int src_rank_;
   int pset_;
+  int io_host_;
+  int dst_host_;
   sim::Channel<Frame>* inbox_;
   net::FlowId flow_ = 0;
   bool flow_open_ = false;
@@ -96,12 +106,17 @@ class TcpPlainLink final : public Link {
 
  protected:
   sim::Task<void> transmit_one(Frame frame, std::function<void()> on_sender_free) override;
+  sim::Task<void> src_transmit(Frame frame, std::function<void()> on_sender_free,
+                               double t0, double window_wait, bool stalled) override;
+  sim::Task<void> dst_receive(Frame frame) override;
   void stream_ended() override;
 
  private:
   void close_flow();
 
   hw::Machine* machine_;
+  int src_host_;
+  int dst_host_;
   sim::Channel<Frame>* inbox_;
   net::FlowId flow_ = 0;
   bool flow_open_ = false;
@@ -109,7 +124,7 @@ class TcpPlainLink final : public Link {
 
 class LocalLink final : public Link {
  public:
-  LocalLink(hw::Machine& machine, sim::Channel<Frame>& inbox);
+  LocalLink(hw::Machine& machine, const hw::Location& loc, sim::Channel<Frame>& inbox);
 
  protected:
   sim::Task<void> transmit_one(Frame frame, std::function<void()> on_sender_free) override;
@@ -119,7 +134,13 @@ class LocalLink final : public Link {
 };
 
 /// Builds the appropriate link between two RP locations. `source_tag`
-/// must uniquely identify the producing RP.
+/// must uniquely identify the producing RP. Every link lives on the LP
+/// Simulator owning its *source* location. On a machine with an LpDomain
+/// the TCP links additionally run in split mode (Link::enable_split) at
+/// every LP count — the same pipeline shape at SCSQ_SIM_LPS=1 and 8 is
+/// what keeps the simulated timeline LP-count-invariant. MPI and local
+/// links never cross LPs (the engine rejects cross-pset MPI streams on a
+/// parallel drive) and keep the sequential path.
 std::unique_ptr<Link> make_link(hw::Machine& machine, const hw::Location& src,
                                 const hw::Location& dst, sim::Channel<Frame>& inbox,
                                 std::uint64_t source_tag);

@@ -187,11 +187,24 @@ cmp "$TMPD/fig6_lps4b1.txt" "$TMPD/fig6_lps4b1_mon.txt" || {
 echo "   stdout byte-identical monitor on/off (also at lps=4 batch=1);" \
      "$(wc -l < "$TMPD/fig6_alerts.jsonl") alert(s) validated"
 
-# Conservative-LP runtime smoke: the benchmark aborts on any LP-count
-# determinism violation (checksum vs the sequential run), so one fast
-# shot doubles as a correctness gate.
+# Parallel engine drive: the fig8 quick tables must be byte-identical
+# at SCSQ_SIM_LPS=4 (the data plane runs across conservative LPs — or
+# the sequenced fallback for cross-pset MPI shapes — with identical
+# output either way).
+echo "== bench_fig8_merge SCSQ_SIM_LPS invariance =="
+SCSQ_SIM_LPS=4 "$BUILD/bench/bench_fig8_merge" 2> /dev/null \
+  | grep -v '^\[harness\]' > "$TMPD/fig8_lps4.txt"
+cmp "$TMPD/fig8_batchdef.txt" "$TMPD/fig8_lps4.txt" || {
+  echo "SCSQ_SIM_LPS changed fig8 bench output"; exit 1; }
+echo "   fig8 tables byte-identical at SCSQ_SIM_LPS=1 vs 4"
+
+# Conservative-LP runtime smoke: both benchmarks abort on any LP-count
+# determinism violation (checksum / run-report fingerprint vs the
+# sequential run), so one fast shot doubles as a correctness gate.
+# BM_EngineParallel drives the *whole engine* (parse -> wire -> windowed
+# parallel drive) at 1 and 4 LPs.
 "$BUILD/bench/bench_kernels" \
-  --benchmark_filter='BM_ParallelSim' --benchmark_min_time=0.01 > /dev/null
+  --benchmark_filter='BM_(ParallelSim|EngineParallel)' --benchmark_min_time=0.01 > /dev/null
 
 # TSAN pass over the parallel LP runtime: mailbox SPSC rings, channel
 # clocks and the quiescence detector are hand-rolled atomics — run the
@@ -201,11 +214,15 @@ echo "   stdout byte-identical monitor on/off (also at lps=4 batch=1);" \
 if echo 'int main(){}' | c++ -x c++ -fsanitize=thread -o /dev/null - 2> /dev/null; then
   echo "== plp_test under ThreadSanitizer =="
   cmake -B "$BUILD-tsan" -S . -DSCSQ_TSAN=ON > /dev/null
-  cmake --build "$BUILD-tsan" -j"$(nproc)" --target plp_test monitor_test > /dev/null
+  cmake --build "$BUILD-tsan" -j"$(nproc)" \
+    --target plp_test monitor_test engine_parallel_test > /dev/null
   "$BUILD-tsan/tests/plp_test"
   # Monitor alert files use the shared truncate-once side-channel mutex;
   # run the monitor suite under TSAN alongside the LP runtime.
   "$BUILD-tsan/tests/monitor_test"
+  # The engine's windowed parallel drive (per-LP frame pools, frozen
+  # fabric factors, deferred link metrics, cross-LP staging) under TSAN.
+  "$BUILD-tsan/tests/engine_parallel_test"
 else
   echo "== skipping TSAN pass (toolchain lacks ThreadSanitizer) =="
 fi
