@@ -301,6 +301,90 @@ void BM_CallAtCallback(benchmark::State& state) {
 }
 BENCHMARK(BM_CallAtCallback);
 
+// Pending-event-set shootout: the same self-rearming timer workload
+// driven through the ladder queue (default) and the binary-heap
+// reference, across arrival distributions that stress different ladder
+// machinery. ~1k outstanding timers; each firing re-arms until the
+// event budget per iteration is spent. The Simulator is reset() between
+// iterations rather than reconstructed, so warm rung/bucket/slab
+// storage is reused — the steady state this kernel is tuned for.
+//  * uniform      delays spread over three decades: rung spreads stay
+//                 balanced (calendar-queue home turf).
+//  * spike        delays clustered at one far point with 1us jitter:
+//                 dense same-bucket cohorts, the respread path.
+//  * bimodal      short/long mixture: bottom inserts race far-future
+//                 top parks.
+//  * cancel_heavy every firing arms two timers and cancels one pending
+//                 one: exercises cancelled-node consumption + slab churn.
+struct EventQueueBenchDriver {
+  scsq::sim::Simulator& sim;
+  scsq::util::Rng rng;
+  int remaining;
+  int dist;  // 0 uniform, 1 spike, 2 bimodal, 3 cancel_heavy
+  std::vector<scsq::sim::Simulator::TimerId> live;
+  std::uint64_t fired = 0;
+
+  double next_delay() {
+    switch (dist) {
+      case 1: return 1e-3 + rng.uniform(0.0, 1e-6);
+      case 2: return rng.uniform_int(0, 1) != 0 ? rng.uniform(1e-7, 1e-6)
+                                                : rng.uniform(1e-3, 2e-3);
+      default: return rng.uniform(1e-6, 1e-3);
+    }
+  }
+
+  void arm() {
+    if (remaining <= 0) return;
+    --remaining;
+    const auto id = sim.call_at(sim.now() + next_delay(), [this] {
+      ++fired;
+      if (dist == 3) {
+        // Arm two, cancel one pending: net population stays flat while
+        // the queue digests a cancelled node per firing. Handles of
+        // timers that already fired linger in `live`; the loop purges
+        // them (cancel_timer returns false) until a live one dies.
+        arm();
+        arm();
+        while (!live.empty()) {
+          const auto victim = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+          const bool was_pending = sim.cancel_timer(live[victim]);
+          live[victim] = live.back();
+          live.pop_back();
+          if (was_pending) break;
+        }
+      } else {
+        arm();
+      }
+    });
+    if (dist == 3) live.push_back(id);
+  }
+};
+
+void BM_EventQueue(benchmark::State& state, int dist, scsq::sim::EventQueue::Mode mode) {
+  constexpr int kPopulation = 1024;
+  constexpr int kEventsPerIter = 50'000;
+  scsq::sim::Simulator sim(mode);
+  std::uint64_t fired_total = 0;
+  for (auto _ : state) {
+    sim.reset();
+    EventQueueBenchDriver drv{sim, scsq::util::Rng(42), kEventsPerIter, dist, {}, 0};
+    for (int i = 0; i < kPopulation; ++i) drv.arm();
+    sim.run();
+    fired_total += drv.fired;
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired_total));
+}
+BENCHMARK_CAPTURE(BM_EventQueue, uniform, 0, scsq::sim::EventQueue::Mode::kLadder);
+BENCHMARK_CAPTURE(BM_EventQueue, spike, 1, scsq::sim::EventQueue::Mode::kLadder);
+BENCHMARK_CAPTURE(BM_EventQueue, bimodal, 2, scsq::sim::EventQueue::Mode::kLadder);
+BENCHMARK_CAPTURE(BM_EventQueue, cancel_heavy, 3, scsq::sim::EventQueue::Mode::kLadder);
+BENCHMARK_CAPTURE(BM_EventQueue, uniform_heap, 0, scsq::sim::EventQueue::Mode::kHeap);
+BENCHMARK_CAPTURE(BM_EventQueue, spike_heap, 1, scsq::sim::EventQueue::Mode::kHeap);
+BENCHMARK_CAPTURE(BM_EventQueue, bimodal_heap, 2, scsq::sim::EventQueue::Mode::kHeap);
+BENCHMARK_CAPTURE(BM_EventQueue, cancel_heavy_heap, 3, scsq::sim::EventQueue::Mode::kHeap);
+
 // ---------------------------------------------------------------------
 // Batch-at-a-time SQEP execution. These measure the host-side cost per
 // simulated stream item through real operator pipelines — the per-item

@@ -18,6 +18,8 @@ namespace {
 std::atomic<std::uint64_t> g_sim_events{0};
 std::atomic<std::uint64_t> g_wakeups{0};
 std::atomic<std::uint64_t> g_peak_queue_depth{0};
+std::atomic<std::uint64_t> g_rung_spills{0};
+std::atomic<std::uint64_t> g_cancel_consumed{0};
 // LP affinity of the sweep's runs (max over points — points are
 // homogeneous within one bench, so max == the common value).
 std::atomic<int> g_lps_requested{1};
@@ -174,6 +176,8 @@ void harness_count_events(std::uint64_t events) {
 void harness_count_perf(const sim::PerfCounters& perf) {
   g_sim_events.fetch_add(perf.events_dispatched, std::memory_order_relaxed);
   g_wakeups.fetch_add(perf.wakeups, std::memory_order_relaxed);
+  g_rung_spills.fetch_add(perf.rung_spills, std::memory_order_relaxed);
+  g_cancel_consumed.fetch_add(perf.cancel_consumed, std::memory_order_relaxed);
   // Running max (no fetch_max before C++26): CAS until ours is not larger.
   std::uint64_t seen = g_peak_queue_depth.load(std::memory_order_relaxed);
   while (perf.peak_queue_depth > seen &&
@@ -186,6 +190,8 @@ void harness_begin() {
   g_sim_events.store(0, std::memory_order_relaxed);
   g_wakeups.store(0, std::memory_order_relaxed);
   g_peak_queue_depth.store(0, std::memory_order_relaxed);
+  g_rung_spills.store(0, std::memory_order_relaxed);
+  g_cancel_consumed.store(0, std::memory_order_relaxed);
   g_lps_requested.store(1, std::memory_order_relaxed);
   g_lps_effective.store(1, std::memory_order_relaxed);
   g_harness_start = std::chrono::steady_clock::now();
@@ -199,7 +205,8 @@ void harness_end(std::size_t points) {
   std::fprintf(stderr,
                "[harness] %zu sweep points on %u thread(s), lps=%d/%d (requested/effective): "
                "%.2f s wall, %llu simulated events, %.2fM events/s, "
-               "peak queue depth %llu, %llu wakeups\n",
+               "peak queue depth %llu, %llu wakeups, %llu rung spills, "
+               "%llu cancelled timers\n",
                points, bench_threads(),
                g_lps_requested.load(std::memory_order_relaxed),
                g_lps_effective.load(std::memory_order_relaxed), wall_s,
@@ -207,7 +214,10 @@ void harness_end(std::size_t points) {
                wall_s > 0.0 ? static_cast<double>(events) / wall_s / 1e6 : 0.0,
                static_cast<unsigned long long>(
                    g_peak_queue_depth.load(std::memory_order_relaxed)),
-               static_cast<unsigned long long>(g_wakeups.load(std::memory_order_relaxed)));
+               static_cast<unsigned long long>(g_wakeups.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(g_rung_spills.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   g_cancel_consumed.load(std::memory_order_relaxed)));
 }
 
 namespace {

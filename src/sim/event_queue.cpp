@@ -1,0 +1,249 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/logging.hpp"
+
+namespace scsq::sim {
+
+namespace {
+// Descending by event_less: the strict minimum ends up at back().
+inline bool event_greater(const QueuedEvent& a, const QueuedEvent& b) {
+  return event_less(b, a);
+}
+}  // namespace
+
+EventQueue::Mode EventQueue::mode_from_env() {
+  static const Mode mode = [] {
+    const char* env = std::getenv("SCSQ_EVENT_QUEUE");
+    if (env == nullptr || *env == '\0') return Mode::kLadder;
+    const std::string_view v(env);
+    if (v == "ladder") return Mode::kLadder;
+    if (v == "heap") return Mode::kHeap;
+    SCSQ_CHECK(false) << "SCSQ_EVENT_QUEUE must be 'heap' or 'ladder', got '" << v << "'";
+    return Mode::kLadder;
+  }();
+  return mode;
+}
+
+void EventQueue::push_heap(const QueuedEvent& ev) {
+  heap_.push_back(ev);
+  // Hole-insertion sift-up: shift larger parents down, place once.
+  const std::size_t start = heap_.size() - 1;
+  std::size_t i = start;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!event_less(ev, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  if (i != start) heap_[i] = ev;
+}
+
+void EventQueue::push_nonempty(const QueuedEvent& ev) {
+  if (mode_ == Mode::kHeap) {
+    push_heap(ev);
+    return;
+  }
+  if (ev.at >= top_start_) {
+    top_.push_back(ev);
+    if (ev.at < top_min_) top_min_ = ev.at;
+    if (ev.at > top_max_) top_max_ = ev.at;
+    return;
+  }
+  push_below_top(ev);
+}
+
+void EventQueue::pop_heap_root() {
+  const std::size_t n = heap_.size() - 1;
+  if (n == 0) {
+    heap_.pop_back();
+    return;
+  }
+  // Hole-insertion sift-down: pull smaller children up, place the
+  // displaced last element once at the end.
+  const QueuedEvent last = heap_[n];
+  heap_.pop_back();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    std::size_t c = l;
+    const std::size_t r = l + 1;
+    if (r < n && event_less(heap_[r], heap_[l])) c = r;
+    if (!event_less(heap_[c], last)) break;
+    heap_[i] = heap_[c];
+    i = c;
+  }
+  heap_[i] = last;
+}
+
+void EventQueue::push_below_top(const QueuedEvent& ev) {
+  // Walk coarsest -> finest; the first rung whose undrained range covers
+  // ev.at takes it. The fall-through test and the bucket choice both
+  // derive from the same value d = (at - start) / width. d is a monotone
+  // non-decreasing function of at, so the partition it induces (d < cur
+  // falls through, floor(d) picks the bucket) can never invert the order
+  // of two events even when FP rounding perturbs d near a bucket edge —
+  // which a separate `at >= start + cur*width` comparison could.
+  for (std::size_t r = 0; r < active_rungs_; ++r) {
+    Rung& rg = rungs_[r];
+    // A spent rung (cur == nbuckets, empty, awaiting retirement at the
+    // next refill) takes nothing: clamping into its last bucket would
+    // hide the event behind the drain cursor.
+    if (rg.cur >= rg.nbuckets) continue;
+    const Time d = (ev.at - rg.start) / rg.width;
+    if (d < static_cast<Time>(rg.cur)) continue;  // below the undrained range
+    // The guarded comparison doubles as overflow protection: d can be
+    // astronomically large for an outlier timestamp, and the direct
+    // float->size_t cast of such a value is UB.
+    std::size_t idx = d >= static_cast<Time>(rg.nbuckets) ? rg.nbuckets - 1
+                                                          : static_cast<std::size_t>(d);
+    if (idx < rg.cur) idx = rg.cur;  // d == cur exactly, truncation slack
+    rg.buckets[idx].push_back(ev);
+    ++rg.count;
+    return;
+  }
+  bottom_insert(ev);
+}
+
+void EventQueue::bottom_insert(const QueuedEvent& ev) {
+  const auto it = std::lower_bound(bottom_.begin(), bottom_.end(), ev, event_greater);
+  bottom_.insert(it, ev);
+  if (bottom_.size() > bottom_spawn_at_) spawn_from_bottom();
+}
+
+void EventQueue::spawn_from_bottom() {
+  // Keep the kThres smallest (the tail of the descending vector) for O(1)
+  // pops; respread the larger remainder into a rung so each direct insert
+  // stays cheap. Everything respread is strictly below every active
+  // rung's drain range (it was below them when first pushed), so the new
+  // rung is appended as the next-to-drain level.
+  const std::size_t n = bottom_.size() - kThres;
+  scratch_.assign(bottom_.begin(), bottom_.begin() + n);
+  if (!spread_into_new_rung(scratch_)) {
+    // Unsplittable (rungs exhausted or one timestamp): keep the sorted
+    // vector but back off the retry threshold, so a degenerate flood
+    // pays the min/max scan O(log) times instead of per insert. The
+    // staged copies must be dropped — bottom_ still owns the events.
+    scratch_.clear();
+    bottom_spawn_at_ *= 2;
+    return;
+  }
+  bottom_.erase(bottom_.begin(), bottom_.begin() + n);
+  bottom_spawn_at_ = kBottomOverflow;
+}
+
+bool EventQueue::spread_into_new_rung(std::vector<QueuedEvent>& src) {
+  if (active_rungs_ >= kMaxRungs) return false;
+  Time lo = kInf;
+  Time hi = -kInf;
+  for (const QueuedEvent& ev : src) {
+    if (ev.at < lo) lo = ev.at;
+    if (ev.at > hi) hi = ev.at;
+  }
+  if (!(hi > lo)) return false;  // single timestamp: time cannot subdivide
+  const std::size_t nb = std::min(src.size(), kMaxBuckets);
+  const Time width = (hi - lo) / static_cast<Time>(nb);
+  if (!(width > 0.0)) return false;  // range below FP resolution
+  if (active_rungs_ == rungs_.size()) rungs_.emplace_back();
+  Rung& rg = rungs_[active_rungs_++];
+  rg.start = lo;
+  rg.width = width;
+  rg.nbuckets = nb;
+  rg.cur = 0;
+  rg.count = src.size();
+  if (rg.buckets.size() < nb) rg.buckets.resize(nb);
+  for (const QueuedEvent& ev : src) {
+    const Time d = (ev.at - lo) / width;
+    const std::size_t idx =
+        d >= static_cast<Time>(nb) ? nb - 1 : static_cast<std::size_t>(d);
+    rg.buckets[idx].push_back(ev);
+  }
+  *rung_spills_ += src.size();
+  src.clear();
+  return true;
+}
+
+void EventQueue::sort_into_bottom(std::vector<QueuedEvent>& batch) {
+  // bottom_ is empty here (refills only happen on drain); swap donates
+  // the batch's storage and reclaims bottom_'s for the batch's owner.
+  bottom_.swap(batch);
+  batch.clear();
+  std::sort(bottom_.begin(), bottom_.end(), event_greater);
+  ++*bottom_resorts_;
+}
+
+void EventQueue::refill_bottom() {
+  bottom_spawn_at_ = kBottomOverflow;
+  for (;;) {
+    if (active_rungs_ != 0) {
+      Rung& rg = rungs_[active_rungs_ - 1];
+      if (rg.count == 0) {
+        --active_rungs_;
+        continue;
+      }
+      while (rg.cur < rg.nbuckets && rg.buckets[rg.cur].empty()) ++rg.cur;
+      if (rg.cur >= rg.nbuckets) {
+        std::size_t held = 0;
+        for (const auto& b : rg.buckets) held += b.size();
+        SCSQ_CHECK(false) << "rung drain overrun: cur=" << rg.cur << " nbuckets=" << rg.nbuckets
+                          << " count=" << rg.count << " held=" << held
+                          << " buckets.size=" << rg.buckets.size()
+                          << " active=" << active_rungs_ << " size_=" << size_
+                          << " top=" << top_.size() << " start=" << rg.start
+                          << " width=" << rg.width;
+      }
+      std::vector<QueuedEvent>& bucket = rg.buckets[rg.cur];
+      rg.count -= bucket.size();
+      if (bucket.size() > kThres && active_rungs_ < kMaxRungs) {
+        // Oversized bucket: respread into a finer rung instead of paying
+        // an O(k log k) sort. The cursor moves first so the finer rung
+        // becomes the new lowest level.
+        scratch_.swap(bucket);
+        ++rg.cur;
+        if (spread_into_new_rung(scratch_)) continue;
+        sort_into_bottom(scratch_);  // single-timestamp clump: seq-sort
+        return;
+      }
+      ++rg.cur;
+      sort_into_bottom(bucket);
+      return;
+    }
+    if (!top_.empty()) {
+      // New arrivals from here on are "far future" relative to what the
+      // old top held; anchor the threshold at its observed max.
+      top_start_ = top_max_;
+      const bool spread = top_.size() > kThres && spread_into_new_rung(top_);
+      if (!spread) sort_into_bottom(top_);
+      top_min_ = kInf;
+      top_max_ = -kInf;
+      if (spread) continue;
+      return;
+    }
+    return;  // fully empty (size_ said otherwise: caller bug)
+  }
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  bottom_.clear();
+  top_.clear();
+  scratch_.clear();
+  for (Rung& rg : rungs_) {
+    for (std::vector<QueuedEvent>& b : rg.buckets) b.clear();
+    rg.count = 0;
+    rg.cur = 0;
+    rg.nbuckets = 0;
+  }
+  active_rungs_ = 0;
+  size_ = 0;
+  bottom_spawn_at_ = kBottomOverflow;
+  top_start_ = 0.0;
+  top_min_ = kInf;
+  top_max_ = -kInf;
+}
+
+}  // namespace scsq::sim

@@ -1,0 +1,168 @@
+// Pending-event set for the simulation kernel: ladder queue with a
+// binary-heap reference implementation behind one front/pop interface.
+//
+// Both modes dispatch in the exact (time, seq) total order event_less
+// defines, so a Simulator run is event-for-event identical under either
+// — `SCSQ_EVENT_QUEUE=heap` keeps the old heap as a byte-diffable
+// reference against the ladder default.
+//
+// Ladder structure (Tang/Goh/Thng, adapted to the (time, seq) key):
+//
+//   top     unsorted vector of far-future events (at >= top_start_)
+//   rungs   a stack of progressively finer bucket arrays; rungs_[0] is
+//           the coarsest, the last active rung is the one being drained
+//   bottom  a vector sorted DESCENDING by event_less — the strict
+//           minimum lives at back(), so front() and pop_front() are O(1)
+//
+// Invariant: whenever the queue is non-empty, bottom_ is non-empty and
+// bottom_.back() is the global minimum. Pushes below the active drain
+// range insert into bottom_ directly (binary search), so late events are
+// never lost; pushes at or above top_start_ are O(1) appends. Refilling
+// an empty bottom sorts one bucket (or the whole top when it is small);
+// buckets that exceed kThres respread into a finer rung with
+// content-derived [min, max] geometry, which confines outliers (e.g. a
+// sampler timer parked at 1e300) to one coarse bucket instead of
+// stretching every rung. A bucket whose events all share one timestamp
+// cannot be subdivided by time and is sorted directly — seq is the only
+// remaining key, so the sort is exact and recursion terminates.
+//
+// Amortized cost per event is O(1) for the usual arrival patterns
+// (each event is touched a bounded number of times: one push, at most
+// kMaxRungs respreads, one sort in a bounded-size batch), versus the
+// heap's O(log n) compares per push *and* per pop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scsq::sim {
+
+/// Simulated time in seconds (same alias as simulator.hpp).
+using Time = double;
+
+// Low payload bit set => callback slab slot (index << 1 | 1);
+// clear => coroutine frame address (aligned, low bit free).
+struct QueuedEvent {
+  Time at;
+  std::uint64_t seq;  // tie-break: FIFO within equal timestamps
+  std::uintptr_t payload;
+};
+
+inline bool event_less(const QueuedEvent& a, const QueuedEvent& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+
+class EventQueue {
+ public:
+  enum class Mode { kHeap, kLadder };
+
+  /// Reads SCSQ_EVENT_QUEUE ("heap" | "ladder"); defaults to ladder.
+  /// The value is read once per process and cached.
+  static Mode mode_from_env();
+
+  /// The two counter slots belong to the owning Simulator's PerfCounters;
+  /// the queue increments them in place (rung respreads / bottom sorts).
+  EventQueue(Mode mode, std::uint64_t* rung_spills, std::uint64_t* bottom_resorts)
+      : mode_(mode), rung_spills_(rung_spills), bottom_resorts_(bottom_resorts) {}
+
+  Mode mode() const { return mode_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Strict (time, seq) minimum. Precondition: !empty().
+  const QueuedEvent& front() const {
+    return mode_ == Mode::kHeap ? heap_[0] : bottom_.back();
+  }
+
+  void push(const QueuedEvent& ev) {
+    ++size_;
+    if (mode_ == Mode::kLadder && size_ == 1) [[likely]] {
+      // Queue was empty: the event is trivially the minimum. This is THE
+      // hot case of a run-to-completion kernel (one pending wake-up at a
+      // time), so it is the only vector append in the inline body —
+      // more call sites and the compiler outlines push_back, costing an
+      // extra call per event on the delay fast path. Re-anchor the top
+      // threshold here so a long-drained queue does not keep routing
+      // everything through an ancient top_start_.
+      bottom_.push_back(ev);
+      top_start_ = ev.at;
+      return;
+    }
+    push_nonempty(ev);
+  }
+
+  /// Removes front(). Precondition: !empty().
+  void pop_front() {
+    --size_;
+    if (mode_ == Mode::kHeap) {
+      pop_heap_root();
+      return;
+    }
+    bottom_.pop_back();
+    // size_ first: the run-to-completion hot case just emptied the queue,
+    // and the counter test short-circuits without touching the vector.
+    if (size_ != 0 && bottom_.empty()) refill_bottom();
+  }
+
+  /// Empties the queue, keeping heap/rung/bucket storage for reuse
+  /// (Simulator::reset leans on this: a warm queue re-runs a workload
+  /// with zero allocations).
+  void clear();
+
+ private:
+  // Ladder geometry. kThres bounds the batch a single sort handles (and
+  // the bucket size that triggers a respread); kBottomOverflow bounds
+  // direct sorted inserts into bottom_ before the excess is respread.
+  static constexpr std::size_t kThres = 64;
+  static constexpr std::size_t kBottomOverflow = 192;
+  static constexpr std::size_t kMaxRungs = 8;
+  static constexpr std::size_t kMaxBuckets = 4096;
+
+  struct Rung {
+    Time start = 0.0;          // timestamp of bucket 0's left edge
+    Time width = 0.0;          // bucket width (> 0 for any active rung)
+    std::size_t nbuckets = 0;  // logical bucket count (<= buckets.size())
+    std::size_t cur = 0;       // next bucket to drain; earlier ones are spent
+    std::size_t count = 0;     // events remaining in this rung
+    std::vector<std::vector<QueuedEvent>> buckets;  // storage reused
+  };
+
+  // Heap reference implementation (the pre-ladder kernel, verbatim).
+  void push_heap(const QueuedEvent& ev);
+  void pop_heap_root();
+
+  // Every push except the empty-queue ladder case: heap sift-up, top
+  // append, or below-top routing.
+  void push_nonempty(const QueuedEvent& ev);
+
+  // Ladder cold paths.
+  void push_below_top(const QueuedEvent& ev);
+  void bottom_insert(const QueuedEvent& ev);
+  void refill_bottom();
+  void sort_into_bottom(std::vector<QueuedEvent>& batch);
+  bool spread_into_new_rung(std::vector<QueuedEvent>& src);
+  void spawn_from_bottom();
+
+  Mode mode_;
+  std::uint64_t* rung_spills_;
+  std::uint64_t* bottom_resorts_;
+  std::size_t size_ = 0;
+
+  std::vector<QueuedEvent> heap_;  // binary min-heap (heap mode only)
+
+  std::vector<QueuedEvent> bottom_;  // sorted descending; min at back()
+  std::vector<Rung> rungs_;          // pool; [0, active_rungs_) are live
+  std::size_t active_rungs_ = 0;
+  std::size_t bottom_spawn_at_ = kBottomOverflow;  // respread retry threshold
+  std::vector<QueuedEvent> top_;  // unsorted, all at >= top_start_
+  Time top_start_ = 0.0;
+  Time top_min_ = kInf;
+  Time top_max_ = -kInf;
+  std::vector<QueuedEvent> scratch_;  // respread staging, storage reused
+
+  static constexpr Time kInf = 1e308;
+};
+
+}  // namespace scsq::sim

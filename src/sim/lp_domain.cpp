@@ -196,6 +196,9 @@ PerfCounters LpDomain::perf_total() const {
     total.channel_waits += p.channel_waits;
     total.wakeups += p.wakeups;
     total.peak_queue_depth = std::max(total.peak_queue_depth, p.peak_queue_depth);
+    total.rung_spills += p.rung_spills;
+    total.bottom_resorts += p.bottom_resorts;
+    total.cancel_consumed += p.cancel_consumed;
   }
   return total;
 }

@@ -96,11 +96,22 @@ bool Mailbox::advance_clock(Time promise) {
 std::size_t Mailbox::drain(std::vector<Message>& out) {
   const std::size_t head = head_.load(std::memory_order_relaxed);
   const std::size_t tail = tail_.load(std::memory_order_acquire);
-  for (std::size_t i = head; i != tail; ++i) {
-    out.push_back(ring_[i & mask_]);
-  }
+  const std::size_t n = tail - head;
+  if (n == 0) return 0;
+  // Bulk two-span copy: the occupied range is at most two contiguous
+  // ring segments (it wraps once at the end of the storage), so the
+  // whole ready span moves with memcpy-able copies instead of one
+  // push_back per message.
+  const std::size_t base = out.size();
+  out.resize(base + n);
+  const std::size_t first_idx = head & mask_;
+  const std::size_t first_len = std::min(n, (mask_ + 1) - first_idx);
+  std::copy_n(ring_.begin() + static_cast<std::ptrdiff_t>(first_idx), first_len,
+              out.begin() + static_cast<std::ptrdiff_t>(base));
+  std::copy_n(ring_.begin(), n - first_len,
+              out.begin() + static_cast<std::ptrdiff_t>(base + first_len));
   head_.store(tail, std::memory_order_release);
-  return tail - head;
+  return n;
 }
 
 // ---------------------------------------------------------------------------

@@ -139,7 +139,10 @@ class Mailbox {
     return (tail - head) + staged_count_.load(std::memory_order_relaxed);
   }
 
-  /// Appends all available messages to `out`; returns how many.
+  /// Appends all available messages to `out` as one batched span copy
+  /// (at most two contiguous ring segments); returns how many. One
+  /// acquire load covers the whole batch, so a quiescence check costs
+  /// O(1) synchronization regardless of how many messages were ready.
   std::size_t drain(std::vector<Message>& out);
 
  private:

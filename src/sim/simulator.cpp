@@ -5,7 +5,10 @@
 
 namespace scsq::sim {
 
-Simulator::Simulator() {
+Simulator::Simulator() : Simulator(EventQueue::mode_from_env()) {}
+
+Simulator::Simulator(EventQueue::Mode queue_mode)
+    : timed_(queue_mode, &perf_.rung_spills, &perf_.bottom_resorts) {
   util::set_log_time_source([this] { return now_; });
 }
 
@@ -17,6 +20,28 @@ Simulator::~Simulator() {
   for (auto h : roots_) {
     if (h) h.destroy();
   }
+}
+
+void Simulator::reset() {
+  SCSQ_CHECK(seq_ == &next_seq_) << "reset while the seq counter is shared";
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+  roots_.clear();
+  timed_.clear();
+  fifo_.clear();
+  fifo_head_ = 0;
+  // Keep the callback slab allocated; null the bodies and bump every
+  // generation so TimerIds issued before the reset can never cancel a
+  // post-reset timer that recycles their slot.
+  free_slots_.clear();
+  for (std::size_t i = callbacks_.size(); i-- > 0;) {
+    callbacks_[i] = nullptr;
+    ++callback_gens_[i];
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
+  now_ = 0.0;
+  next_seq_ = 0;
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -44,7 +69,7 @@ Simulator::TimerId Simulator::call_at(Time at, std::function<void()> fn) {
   if (at == now_) {
     push_fifo(payload);
   } else {
-    push_heap(at, payload);
+    push_timed(at, payload);
   }
   return TimerId{slot, callback_gens_[slot]};
 }
@@ -61,30 +86,6 @@ bool Simulator::cancel_timer(TimerId id) {
   return true;
 }
 
-void Simulator::pop_heap_root() {
-  const std::size_t n = heap_.size() - 1;
-  if (n == 0) {
-    heap_.pop_back();
-    return;
-  }
-  // Hole-insertion sift-down: pull smaller children up, place the
-  // displaced last element once at the end.
-  const QueuedEvent last = heap_[n];
-  heap_.pop_back();
-  std::size_t i = 0;
-  for (;;) {
-    const std::size_t l = 2 * i + 1;
-    if (l >= n) break;
-    std::size_t c = l;
-    const std::size_t r = l + 1;
-    if (r < n && event_less(heap_[r], heap_[l])) c = r;
-    if (!event_less(heap_[c], last)) break;
-    heap_[i] = heap_[c];
-    i = c;
-  }
-  heap_[i] = last;
-}
-
 void Simulator::run_callback(std::uintptr_t payload) {
   const auto slot = static_cast<std::uint32_t>(payload >> 1);
   auto fn = std::move(callbacks_[slot]);
@@ -98,20 +99,21 @@ template <bool Strict>
 Time Simulator::run_loop(Time limit) {
   for (;;) {
     const std::size_t fifo_live = fifo_.size() - fifo_head_;
-    const std::size_t heap_size = heap_.size();
-    const std::uint64_t depth = heap_size + fifo_live;
+    const std::size_t timed_size = timed_.size();
+    const std::uint64_t depth = timed_size + fifo_live;
     if (depth > perf_.peak_queue_depth) perf_.peak_queue_depth = depth;
     std::uintptr_t payload;
     if (fifo_live != 0) {
       // The FIFO only ever holds events stamped at now_, so it drains
-      // before time advances; a heap event at the same timestamp runs
+      // before time advances; a timed event at the same timestamp runs
       // first only when it was scheduled earlier (smaller seq) —
       // preserving the global FIFO order within a timestamp that the old
       // single priority_queue provided.
       if (Strict ? now_ >= limit : now_ > limit) break;
-      if (heap_size != 0 && heap_[0].at == now_ && heap_[0].seq < fifo_[fifo_head_].seq) {
-        payload = heap_[0].payload;
-        pop_heap_root();
+      if (timed_size != 0 && timed_.front().at == now_ &&
+          timed_.front().seq < fifo_[fifo_head_].seq) {
+        payload = timed_.front().payload;
+        timed_.pop_front();
       } else {
         payload = fifo_[fifo_head_].payload;
         if (++fifo_head_ == fifo_.size()) {
@@ -120,11 +122,11 @@ Time Simulator::run_loop(Time limit) {
         }
       }
       if (consume_cancelled(payload)) continue;
-    } else if (heap_size != 0) {
-      const Time at = heap_[0].at;
+    } else if (timed_size != 0) {
+      const Time at = timed_.front().at;
       if (Strict ? at >= limit : at > limit) break;
-      payload = heap_[0].payload;
-      pop_heap_root();
+      payload = timed_.front().payload;
+      timed_.pop_front();
       // Cancelled timers vanish here, *before* the clock advances: a
       // cancelled node parked past the last real event must not drag
       // now() forward (the sampler's determinism contract rides on this).
@@ -151,17 +153,18 @@ bool Simulator::run_one() {
   // One iteration of run_loop's body, without the limit checks — the
   // multiplexer already established that this shard holds the global
   // front. The bookkeeping (peak-depth sample, cancelled-node
-  // consumption, clock advance on the heap path, periodic root sweep)
+  // consumption, clock advance on the timed path, periodic root sweep)
   // mirrors run_loop exactly so a multiplexed drive is event-for-event
   // identical to a single-Simulator run.
   const std::size_t fifo_live = fifo_.size() - fifo_head_;
-  const std::uint64_t depth = heap_.size() + fifo_live;
+  const std::uint64_t depth = timed_.size() + fifo_live;
   if (depth > perf_.peak_queue_depth) perf_.peak_queue_depth = depth;
   std::uintptr_t payload;
   if (fifo_live != 0) {
-    if (!heap_.empty() && heap_[0].at == now_ && heap_[0].seq < fifo_[fifo_head_].seq) {
-      payload = heap_[0].payload;
-      pop_heap_root();
+    if (!timed_.empty() && timed_.front().at == now_ &&
+        timed_.front().seq < fifo_[fifo_head_].seq) {
+      payload = timed_.front().payload;
+      timed_.pop_front();
     } else {
       payload = fifo_[fifo_head_].payload;
       if (++fifo_head_ == fifo_.size()) {
@@ -170,10 +173,10 @@ bool Simulator::run_one() {
       }
     }
     if (consume_cancelled(payload)) return false;
-  } else if (!heap_.empty()) {
-    const Time at = heap_[0].at;
-    payload = heap_[0].payload;
-    pop_heap_root();
+  } else if (!timed_.empty()) {
+    const Time at = timed_.front().at;
+    payload = timed_.front().payload;
+    timed_.pop_front();
     if (consume_cancelled(payload)) return false;
     now_ = at;
   } else {

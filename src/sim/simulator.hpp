@@ -10,11 +10,13 @@
 // sequence number, and a type-punned payload word. Coroutine frame
 // addresses are at least 2-byte aligned, so the low payload bit tags the
 // rare plain-callback events, whose std::function lives in a reusable
-// side slab instead of inside every queue node. Events land either in a
-// binary min-heap over a reusable vector (timed events) or in an
-// index-advancing FIFO ring (events at exactly now(), the common case
-// for channel wake-ups), so the usual schedule_now/resume cycle never
-// touches the heap.
+// side slab instead of inside every queue node. Events land either in
+// the timed pending-event set (sim/event_queue.hpp: a ladder queue by
+// default, the old binary min-heap behind SCSQ_EVENT_QUEUE=heap as a
+// byte-diffable reference — both dispatch in the identical (time, seq)
+// order) or in an index-advancing FIFO ring (events at exactly now(),
+// the common case for channel wake-ups), so the usual
+// schedule_now/resume cycle never touches the timed structure at all.
 //
 // Threading model: one Simulator is strictly single-threaded,
 // run-to-completion. A resumed coroutine runs until its next suspension;
@@ -29,13 +31,11 @@
 #include <functional>
 #include <vector>
 
+#include "sim/event_queue.hpp"  // Time, QueuedEvent, EventQueue
 #include "sim/task.hpp"
 #include "util/logging.hpp"
 
 namespace scsq::sim {
-
-/// Simulated time in seconds.
-using Time = double;
 
 /// Event-loop statistics, maintained inline by the kernel. Every counter
 /// is a single register increment on a cache line the dispatch loop
@@ -43,7 +43,7 @@ using Time = double;
 /// accessor itself is a free inline reference. Benches divide
 /// events_dispatched by wall time to report simulated events per second.
 struct PerfCounters {
-  std::uint64_t events_dispatched = 0;  ///< total events run (heap + fifo)
+  std::uint64_t events_dispatched = 0;  ///< total events run (timed + fifo)
   std::uint64_t heap_pushes = 0;        ///< timed events (future timestamps)
   std::uint64_t fifo_pushes = 0;        ///< same-timestamp fast-path events
   std::uint64_t callbacks_run = 0;      ///< call_at dispatches (slab path)
@@ -51,12 +51,19 @@ struct PerfCounters {
   std::uint64_t channel_recvs = 0;      ///< Channel::recv values delivered
   std::uint64_t channel_waits = 0;      ///< suspensions on full/empty channels
   std::uint64_t wakeups = 0;            ///< WaitQueue/Event notify resumptions
-  std::uint64_t peak_queue_depth = 0;   ///< max outstanding events (heap+fifo)
+  std::uint64_t peak_queue_depth = 0;   ///< max outstanding events (timed+fifo)
+  std::uint64_t rung_spills = 0;        ///< events respread into a ladder rung
+  std::uint64_t bottom_resorts = 0;     ///< bucket/top batches sorted to bottom
+  std::uint64_t cancel_consumed = 0;    ///< cancelled timer nodes popped silently
 };
 
 class Simulator {
  public:
+  /// Default: pending-event set mode from SCSQ_EVENT_QUEUE (ladder
+  /// unless overridden).
   Simulator();
+  /// Explicit pending-event-set mode (tests and benches compare both).
+  explicit Simulator(EventQueue::Mode queue_mode);
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -64,19 +71,31 @@ class Simulator {
   /// Current simulated time (seconds since simulation start).
   Time now() const { return now_; }
 
+  /// Pending-event-set mode this kernel runs with.
+  EventQueue::Mode queue_mode() const { return timed_.mode(); }
+
+  /// Returns the kernel to its initial state — clock at 0, seq counter at
+  /// 0, no queued events, no live roots — while keeping every piece of
+  /// warm storage (event-queue rungs and vectors, FIFO ring, callback
+  /// slab). Re-running a workload on a reset Simulator allocates nothing
+  /// in steady state. PerfCounters are cumulative across resets.
+  /// Outstanding TimerIds are invalidated (their slots' generations
+  /// advance). Illegal while the seq counter is shared.
+  void reset();
+
   /// Starts a root process. The task begins executing at the current time
   /// (it is scheduled, not run inline). The simulator keeps the coroutine
   /// alive until it completes.
   void spawn(Task<void> task);
 
   /// Schedules `h` to resume at absolute time `at` (>= now()). Events at
-  /// the current time take the FIFO fast path and skip the heap.
+  /// the current time take the FIFO fast path and skip the timed set.
   void schedule_at(Time at, std::coroutine_handle<> h) {
     SCSQ_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
     if (at == now_) {
       push_fifo(encode(h));
     } else {
-      push_heap(at, encode(h));
+      push_timed(at, encode(h));
     }
   }
 
@@ -153,12 +172,12 @@ class Simulator {
   Time run_before(Time horizon);
 
   /// Timestamp of the next pending event: now() when same-time FIFO
-  /// events are queued, the heap root's timestamp otherwise, kNoLimit
+  /// events are queued, the timed front's timestamp otherwise, kNoLimit
   /// when the queue is empty. Conservative LPs use this to compute the
   /// null-message promise (earliest possible next send) for neighbors.
   Time next_event_time() const {
     if (fifo_.size() != fifo_head_) return now_;
-    if (!heap_.empty()) return heap_.front().at;
+    if (!timed_.empty()) return timed_.front().at;
     return kNoLimit;
   }
 
@@ -173,16 +192,16 @@ class Simulator {
   // Strictly single-threaded.
 
   /// (timestamp, seq) of the event run_one() would dispatch next — the
-  /// same front run_loop would pick (heap beats the FIFO at an equal
-  /// timestamp only with a smaller seq). False when the queue is empty.
-  /// Cancelled timer nodes are reported like live events; run_one()
-  /// consumes them silently.
+  /// same front run_loop would pick (a timed event beats the FIFO at an
+  /// equal timestamp only with a smaller seq). False when the queue is
+  /// empty. Cancelled timer nodes are reported like live events;
+  /// run_one() consumes them silently.
   bool next_event_key(Time* at, std::uint64_t* seq) const {
     const bool fifo_live = fifo_.size() != fifo_head_;
-    if (fifo_live && !heap_.empty() && heap_[0].at == now_ &&
-        heap_[0].seq < fifo_[fifo_head_].seq) {
-      *at = heap_[0].at;
-      *seq = heap_[0].seq;
+    if (fifo_live && !timed_.empty() && timed_.front().at == now_ &&
+        timed_.front().seq < fifo_[fifo_head_].seq) {
+      *at = timed_.front().at;
+      *seq = timed_.front().seq;
       return true;
     }
     if (fifo_live) {
@@ -190,9 +209,9 @@ class Simulator {
       *seq = fifo_[fifo_head_].seq;
       return true;
     }
-    if (!heap_.empty()) {
-      *at = heap_[0].at;
-      *seq = heap_[0].seq;
+    if (!timed_.empty()) {
+      *at = timed_.front().at;
+      *seq = timed_.front().seq;
       return true;
     }
     return false;
@@ -211,13 +230,13 @@ class Simulator {
   bool front_cancelled() const {
     const bool fifo_live = fifo_.size() != fifo_head_;
     std::uintptr_t payload;
-    if (fifo_live && !heap_.empty() && heap_[0].at == now_ &&
-        heap_[0].seq < fifo_[fifo_head_].seq) {
-      payload = heap_[0].payload;
+    if (fifo_live && !timed_.empty() && timed_.front().at == now_ &&
+        timed_.front().seq < fifo_[fifo_head_].seq) {
+      payload = timed_.front().payload;
     } else if (fifo_live) {
       payload = fifo_[fifo_head_].payload;
-    } else if (!heap_.empty()) {
-      payload = heap_[0].payload;
+    } else if (!timed_.empty()) {
+      payload = timed_.front().payload;
     } else {
       return false;
     }
@@ -262,9 +281,9 @@ class Simulator {
   /// Total events dispatched so far (diagnostics / tests).
   std::uint64_t events_dispatched() const { return perf_.events_dispatched; }
 
-  /// Outstanding queued events (heap + same-time FIFO), including any
+  /// Outstanding queued events (timed + same-time FIFO), including any
   /// cancelled-but-unpopped timer nodes. Live observability gauge; O(1).
-  std::size_t queue_depth() const { return heap_.size() + (fifo_.size() - fifo_head_); }
+  std::size_t queue_depth() const { return timed_.size() + (fifo_.size() - fifo_head_); }
 
   /// Kernel event-loop counters (see PerfCounters). Zero-cost accessor.
   const PerfCounters& perf() const { return perf_; }
@@ -279,21 +298,8 @@ class Simulator {
   static constexpr Time kNoLimit = 1e300;
 
  private:
-  // Low payload bit set => callback slab slot (index << 1 | 1);
-  // clear => coroutine frame address (aligned, low bit free).
-  struct QueuedEvent {
-    Time at;
-    std::uint64_t seq;  // tie-break: FIFO within equal timestamps
-    std::uintptr_t payload;
-  };
-
   static std::uintptr_t encode(std::coroutine_handle<> h) {
     return reinterpret_cast<std::uintptr_t>(h.address());
-  }
-
-  static bool event_less(const QueuedEvent& a, const QueuedEvent& b) {
-    if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
   }
 
   // Peak queue depth is sampled at the top of the run() loop rather than
@@ -305,23 +311,12 @@ class Simulator {
     fifo_.push_back(QueuedEvent{now_, (*seq_)++, payload});
   }
 
-  void push_heap(Time at, std::uintptr_t payload) {
+  // `heap_pushes` keeps its historical name: it counts pushes into the
+  // timed pending-event set, whichever structure backs it.
+  void push_timed(Time at, std::uintptr_t payload) {
     ++perf_.heap_pushes;
-    const QueuedEvent ev{at, (*seq_)++, payload};
-    heap_.push_back(ev);
-    // Hole-insertion sift-up: shift larger parents down, place once.
-    const std::size_t start = heap_.size() - 1;
-    std::size_t i = start;
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!event_less(ev, heap_[parent])) break;
-      heap_[i] = heap_[parent];
-      i = parent;
-    }
-    if (i != start) heap_[i] = ev;
+    timed_.push(QueuedEvent{at, (*seq_)++, payload});
   }
-
-  void pop_heap_root();
 
   // Shared dispatch loop: Strict=false stops once the next event is past
   // `limit` (run), Strict=true stops at or past it (run_before).
@@ -332,20 +327,22 @@ class Simulator {
   void sweep_finished_roots();
 
   // True (and the slot released) when `payload` is a cancelled callback
-  // node: the dispatch loop consumes it without any observable effect.
+  // node: the dispatch loop consumes it without any observable effect
+  // beyond the cancel_consumed diagnostic counter.
   bool consume_cancelled(std::uintptr_t payload) {
     if (!(payload & 1u)) return false;
     const auto slot = static_cast<std::uint32_t>(payload >> 1);
     if (callbacks_[slot]) return false;
     free_slots_.push_back(slot);
+    ++perf_.cancel_consumed;
     return true;
   }
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t* seq_ = &next_seq_;  // shared across shards while multiplexed
-  PerfCounters perf_;
-  std::vector<QueuedEvent> heap_;  // binary min-heap, storage reused
+  PerfCounters perf_;                // must precede timed_ (it points in)
+  EventQueue timed_;                 // pending-event set for at > now()
   std::vector<QueuedEvent> fifo_;  // events at now_, drained by fifo_head_
   std::size_t fifo_head_ = 0;
   std::vector<std::function<void()>> callbacks_;  // slab for call_at bodies

@@ -10,16 +10,27 @@
 // coroutines are driven by the Simulator's event loop.
 #pragma once
 
+#include <atomic>
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <mutex>
 #include <new>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 
 namespace scsq::sim {
+
+/// Diagnostic counters for the coroutine-frame pool (coro_pool_stats()).
+struct CoroPoolStats {
+  std::uint64_t bucket_reused = 0;   ///< frames served from a warm free list
+  std::uint64_t chunk_allocs = 0;    ///< ::operator new chunk refills
+  std::uint64_t oversize_allocs = 0; ///< frames beyond the pooled classes
+};
 
 namespace detail {
 
@@ -29,27 +40,59 @@ namespace detail {
 // freed millions of times per run. Frames are recycled through
 // thread-local free lists bucketed in 64-byte size classes (the
 // simulator is single-threaded, but sweep workers run one simulation
-// per thread), so after warm-up the hot path never reaches malloc.
-// Oversized frames (> kCoroBucketCount classes) fall through to the
-// global heap. The lists free their cached blocks at thread exit, so
-// leak checkers stay quiet.
+// per thread). A free-list miss carves kCoroChunkBlocks blocks out of
+// one ::operator new — so even cold starts and deep workloads (tens of
+// thousands of live frames) reach malloc once per chunk, not per frame,
+// and the lists are uncapped: steady state performs zero ::operator new
+// calls. Oversized frames (> kCoroBucketCount classes) fall through to
+// the global heap.
+//
+// Chunk ownership is process-global, not per-thread: a frame allocated
+// by one LP worker can be freed on another when a logical process
+// migrates between windows, so a block may outlive the thread whose
+// list first carved it. Chunks are therefore registered in a global
+// registry (always reachable — leak checkers stay quiet) and released
+// only at process exit.
 inline constexpr std::size_t kCoroBucketShift = 6;  // 64-byte classes
 inline constexpr std::size_t kCoroBucketCount = 16;  // covers up to 1 KiB
-inline constexpr std::size_t kCoroMaxCachedPerBucket = 128;
+inline constexpr std::size_t kCoroChunkBlocks = 64;  // blocks per refill
+
+struct CoroChunkRegistry {
+  std::mutex mu;
+  std::vector<void*> chunks;
+  // Stats of exited threads, folded in at thread-local destruction.
+  std::atomic<std::uint64_t> retired_reused{0};
+  std::atomic<std::uint64_t> retired_chunks{0};
+  std::atomic<std::uint64_t> retired_oversize{0};
+
+  ~CoroChunkRegistry() {
+    for (void* c : chunks) ::operator delete(c);
+  }
+
+  void add(void* chunk) {
+    const std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(chunk);
+  }
+
+  static CoroChunkRegistry& instance() {
+    static CoroChunkRegistry registry;
+    return registry;
+  }
+};
 
 struct CoroFreeLists {
   void* head[kCoroBucketCount] = {};
-  std::size_t count[kCoroBucketCount] = {};
+  CoroPoolStats stats;
+
+  // Touch the registry first so it is constructed before (and therefore
+  // destroyed after) every thread-local list, including main's.
+  CoroFreeLists() { (void)CoroChunkRegistry::instance(); }
 
   ~CoroFreeLists() {
-    for (std::size_t b = 0; b < kCoroBucketCount; ++b) {
-      void* p = head[b];
-      while (p != nullptr) {
-        void* next = *static_cast<void**>(p);
-        ::operator delete(p);
-        p = next;
-      }
-    }
+    auto& reg = CoroChunkRegistry::instance();
+    reg.retired_reused.fetch_add(stats.bucket_reused, std::memory_order_relaxed);
+    reg.retired_chunks.fetch_add(stats.chunk_allocs, std::memory_order_relaxed);
+    reg.retired_oversize.fetch_add(stats.oversize_allocs, std::memory_order_relaxed);
   }
 
   static CoroFreeLists& tls() {
@@ -58,45 +101,77 @@ struct CoroFreeLists {
   }
 };
 
+// Cold path: carve one chunk into class-size blocks, thread all but the
+// returned one onto the free list.
+inline void* coro_refill(CoroFreeLists& fl, std::size_t b) {
+  const std::size_t block = (b + 1) << kCoroBucketShift;
+  char* chunk = static_cast<char*>(::operator new(block * kCoroChunkBlocks));
+  CoroChunkRegistry::instance().add(chunk);
+  ++fl.stats.chunk_allocs;
+  for (std::size_t i = 1; i < kCoroChunkBlocks; ++i) {
+    void* p = chunk + i * block;
+    *static_cast<void**>(p) = fl.head[b];
+    fl.head[b] = p;
+  }
+  return chunk;
+}
+
 inline void* coro_alloc(std::size_t n) {
   const std::size_t b = (n - 1) >> kCoroBucketShift;
   if (b < kCoroBucketCount) {
     auto& fl = CoroFreeLists::tls();
     if (void* p = fl.head[b]) {
       fl.head[b] = *static_cast<void**>(p);
-      --fl.count[b];
+      ++fl.stats.bucket_reused;
       return p;
     }
-    // Round up to the class size so any same-class frame can reuse it.
-    return ::operator new((b + 1) << kCoroBucketShift);
+    return coro_refill(fl, b);
   }
+  ++CoroFreeLists::tls().stats.oversize_allocs;
   return ::operator new(n);
 }
 
 inline void coro_free(void* p, std::size_t n) noexcept {
   const std::size_t b = (n - 1) >> kCoroBucketShift;
   if (b < kCoroBucketCount) {
+    // Always recycle: the block is a chunk interior and must never reach
+    // ::operator delete individually.
     auto& fl = CoroFreeLists::tls();
-    if (fl.count[b] < kCoroMaxCachedPerBucket) {
-      *static_cast<void**>(p) = fl.head[b];
-      fl.head[b] = p;
-      ++fl.count[b];
-      return;
-    }
+    *static_cast<void**>(p) = fl.head[b];
+    fl.head[b] = p;
+    return;
   }
   ::operator delete(p);
 }
+
+}  // namespace detail
+
+/// This thread's coroutine-pool counters plus those of exited threads.
+/// With single-threaded use (tests), deltas across a workload are exact:
+/// equal chunk_allocs before/after proves steady-state zero-malloc.
+inline CoroPoolStats coro_pool_stats() {
+  const auto& fl = detail::CoroFreeLists::tls();
+  const auto& reg = detail::CoroChunkRegistry::instance();
+  CoroPoolStats s = fl.stats;
+  s.bucket_reused += reg.retired_reused.load(std::memory_order_relaxed);
+  s.chunk_allocs += reg.retired_chunks.load(std::memory_order_relaxed);
+  s.oversize_allocs += reg.retired_oversize.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace detail {
 
 struct PromiseBase {
   std::coroutine_handle<> continuation;  // resumed at final suspend, if set
   std::exception_ptr exception;
 
-  // Route all Task coroutine frames through the per-thread pool.
+  // Route all Task coroutine frames through the per-thread pool. Only
+  // the sized form is declared: frame deallocation must know the class
+  // size because pooled blocks are chunk interiors that can never be
+  // released to ::operator delete individually ([dcl.fct.def.coroutine]
+  // selects the sized overload whenever it is declared).
   static void* operator new(std::size_t n) { return coro_alloc(n); }
   static void operator delete(void* p, std::size_t n) noexcept { coro_free(p, n); }
-  // Unsized fallback (no size ⇒ no bucket): the block came from
-  // ::operator new either way, so releasing it there is always sound.
-  static void operator delete(void* p) noexcept { ::operator delete(p); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -8,6 +8,8 @@
 #include "core/scsq.hpp"
 #include "funcs/fft.hpp"
 #include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
 #include "transport/frame.hpp"
 #include "transport/marshal.hpp"
 #include "util/rng.hpp"
@@ -339,6 +341,42 @@ INSTANTIATE_TEST_SUITE_P(Shapes, WindowSweep,
                            return "n" + std::to_string(info.param.first) + "w" +
                                   std::to_string(info.param.second);
                          });
+
+// --- Coroutine-frame pool: steady-state zero allocation ---
+
+sim::Task<void> pool_hop_task(sim::Simulator& s, int hops) {
+  for (int i = 0; i < hops; ++i) co_await s.delay(1e-6);
+}
+
+sim::Task<void> pool_parent_task(sim::Simulator& s) {
+  // Spawns a child mid-flight so frames of more than one size class
+  // churn through the free lists in the same cycle.
+  co_await s.delay(1e-6);
+  s.spawn(pool_hop_task(s, 2));
+  co_await s.delay(1e-6);
+}
+
+// After a few warm-up cycles every coroutine frame comes from a free
+// list: no new chunk is carved, nothing falls through to operator new.
+// ASAN/LSAN runs of this binary (tools/ci_smoke.sh) double-check that
+// the recycling is clean, not just quiet.
+TEST(CoroPool, SteadyStateSpawnCyclesAllocateNothing) {
+  sim::Simulator kernel;
+  auto cycle = [&kernel] {
+    for (int i = 0; i < 64; ++i) kernel.spawn(pool_hop_task(kernel, 3));
+    for (int i = 0; i < 16; ++i) kernel.spawn(pool_parent_task(kernel));
+    kernel.run();
+    ASSERT_EQ(kernel.live_root_tasks(), 0u);
+    kernel.reset();
+  };
+  for (int warm = 0; warm < 4; ++warm) cycle();
+  const sim::CoroPoolStats before = sim::coro_pool_stats();
+  for (int hot = 0; hot < 32; ++hot) cycle();
+  const sim::CoroPoolStats after = sim::coro_pool_stats();
+  EXPECT_EQ(after.chunk_allocs, before.chunk_allocs);
+  EXPECT_EQ(after.oversize_allocs, before.oversize_allocs);
+  EXPECT_GT(after.bucket_reused, before.bucket_reused);
+}
 
 }  // namespace
 }  // namespace scsq

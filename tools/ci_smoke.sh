@@ -198,6 +198,29 @@ cmp "$TMPD/fig8_batchdef.txt" "$TMPD/fig8_lps4.txt" || {
   echo "SCSQ_SIM_LPS changed fig8 bench output"; exit 1; }
 echo "   fig8 tables byte-identical at SCSQ_SIM_LPS=1 vs 4"
 
+# Pending-event-set invariance: the ladder queue (the default) and the
+# binary-heap reference behind SCSQ_EVENT_QUEUE=heap must dispatch in
+# the identical (time, seq) order, so the fig6 and fig8 quick tables are
+# byte-identical across queue modes — sequential and at SCSQ_SIM_LPS=4
+# (windowed drive + sequenced fallback on top of either structure).
+echo "== SCSQ_EVENT_QUEUE heap-vs-ladder invariance =="
+SCSQ_EVENT_QUEUE=heap "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_heap.txt"
+cmp "$TMPD/fig6_plain.txt" "$TMPD/fig6_heap.txt" || {
+  echo "SCSQ_EVENT_QUEUE changed fig6 bench output"; exit 1; }
+SCSQ_EVENT_QUEUE=heap SCSQ_SIM_LPS=4 \
+  "$BUILD/bench/bench_fig6_p2p" 2> /dev/null > "$TMPD/fig6_heap_lps4.txt"
+cmp "$TMPD/fig6_plain.txt" "$TMPD/fig6_heap_lps4.txt" || {
+  echo "SCSQ_EVENT_QUEUE x SCSQ_SIM_LPS changed fig6 bench output"; exit 1; }
+SCSQ_EVENT_QUEUE=heap "$BUILD/bench/bench_fig8_merge" 2> /dev/null \
+  | grep -v '^\[harness\]' > "$TMPD/fig8_heap.txt"
+cmp "$TMPD/fig8_batchdef.txt" "$TMPD/fig8_heap.txt" || {
+  echo "SCSQ_EVENT_QUEUE changed fig8 bench output"; exit 1; }
+SCSQ_EVENT_QUEUE=heap SCSQ_SIM_LPS=4 "$BUILD/bench/bench_fig8_merge" 2> /dev/null \
+  | grep -v '^\[harness\]' > "$TMPD/fig8_heap_lps4.txt"
+cmp "$TMPD/fig8_batchdef.txt" "$TMPD/fig8_heap_lps4.txt" || {
+  echo "SCSQ_EVENT_QUEUE x SCSQ_SIM_LPS changed fig8 bench output"; exit 1; }
+echo "   fig6/fig8 tables byte-identical heap vs ladder (SCSQ_SIM_LPS 1 and 4)"
+
 # Conservative-LP runtime smoke: both benchmarks abort on any LP-count
 # determinism violation (checksum / run-report fingerprint vs the
 # sequential run), so one fast shot doubles as a correctness gate.
@@ -215,8 +238,11 @@ if echo 'int main(){}' | c++ -x c++ -fsanitize=thread -o /dev/null - 2> /dev/nul
   echo "== plp_test under ThreadSanitizer =="
   cmake -B "$BUILD-tsan" -S . -DSCSQ_TSAN=ON > /dev/null
   cmake --build "$BUILD-tsan" -j"$(nproc)" \
-    --target plp_test monitor_test engine_parallel_test > /dev/null
+    --target plp_test monitor_test engine_parallel_test sim_queue_fuzz_test > /dev/null
   "$BUILD-tsan/tests/plp_test"
+  # Ladder-queue differential fuzz under TSAN: the coroutine-frame pool's
+  # chunk registry is shared across worker threads.
+  "$BUILD-tsan/tests/sim_queue_fuzz_test"
   # Monitor alert files use the shared truncate-once side-channel mutex;
   # run the monitor suite under TSAN alongside the LP runtime.
   "$BUILD-tsan/tests/monitor_test"
@@ -235,8 +261,14 @@ if echo 'int main(){}' | c++ -x c++ -fsanitize=address -o /dev/null - 2> /dev/nu
   echo "== transport_test + batch pipeline under AddressSanitizer =="
   cmake -B "$BUILD-asan" -S . -DSCSQ_ASAN=ON > /dev/null
   cmake --build "$BUILD-asan" -j"$(nproc)" \
-    --target transport_test monitor_test bench_kernels > /dev/null
+    --target transport_test monitor_test bench_kernels \
+    sim_queue_fuzz_test properties_test > /dev/null
   "$BUILD-asan/tests/transport_test"
+  # Ladder-queue differential fuzz + the zero-alloc frame-pool property
+  # under ASAN/LSAN: rung/bottom recycling and coroutine-frame reuse must
+  # be clean (no use-after-recycle, no leaked chunks at exit).
+  "$BUILD-asan/tests/sim_queue_fuzz_test"
+  "$BUILD-asan/tests/properties_test" --gtest_filter='CoroPool.*'
   # Monitor plans are driven by manual coroutine resumption (release/
   # resume/destroy); run the monitor suite under ASAN to catch frame
   # lifetime mistakes.
